@@ -1,0 +1,113 @@
+// Command mct runs Memory Cocktail Therapy on one workload and reports the
+// learning outcome: the chosen configuration, the sampling overhead, the
+// testing-period metrics, and the comparison against the default system and
+// the static baseline on the identical workload.
+//
+// Usage:
+//
+//	mct -benchmark lbm -lifetime 8 -insts 15000000
+//	mct -benchmark ocean -phases            # with phase detection
+//	mct -mix mix1                           # 4-core multi-program run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mct"
+)
+
+func main() {
+	var (
+		bench    = flag.String("benchmark", "lbm", "workload (see -list)")
+		mix      = flag.String("mix", "", "multi-program mix (overrides -benchmark)")
+		list     = flag.Bool("list", false, "list workloads and mixes")
+		lifetime = flag.Float64("lifetime", 8, "minimum lifetime target in years")
+		insts    = flag.Uint64("insts", 15_000_000, "instructions to execute")
+		model    = flag.String("model", "gboost", "predictor: gboost or quadratic-lasso")
+		phases   = flag.Bool("phases", false, "enable phase detection")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:", mct.Benchmarks())
+		fmt.Println("mixes:     ", mct.Mixes())
+		return
+	}
+
+	obj := mct.DefaultObjective(*lifetime)
+	ro := mct.DefaultRuntimeOptions()
+	ro.Model = *model
+	ro.EnablePhaseDetection = *phases
+
+	var (
+		res mct.Result
+		err error
+	)
+	if *mix != "" {
+		mm, e := mct.NewMixMachine(*mix, mct.StaticBaseline())
+		if e != nil {
+			fail(e)
+		}
+		rt, e := mct.NewMultiRuntime(mm, obj, ro)
+		if e != nil {
+			fail(e)
+		}
+		res, err = rt.Run(*insts)
+	} else {
+		m, e := mct.NewMachine(*bench, mct.StaticBaseline())
+		if e != nil {
+			fail(e)
+		}
+		rt, e := mct.NewRuntimeOpts(m, obj, ro)
+		if e != nil {
+			fail(e)
+		}
+		res, err = rt.Run(*insts)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	name := *bench
+	if *mix != "" {
+		name = *mix
+	}
+	fmt.Printf("MCT on %s (%d instructions, %gy lifetime target, model %s)\n\n", name, *insts, *lifetime, *model)
+	for i, ph := range res.Phases {
+		fmt.Printf("phase %d:\n", i+1)
+		fmt.Printf("  baseline window: IPC=%.3f  lifetime=%.2fy  energy=%.4gJ\n",
+			ph.Baseline.IPC, ph.Baseline.LifetimeYears, ph.Baseline.EnergyJ)
+		fmt.Printf("  sampling period: IPC=%.3f (overhead of exercising %d samples)\n",
+			ph.Sampling.IPC, len(ph.Decision.SampleIndices))
+		fmt.Printf("  chosen config:   %v (constraints satisfiable per prediction: %v)\n",
+			ph.Decision.Chosen, ph.Decision.Satisfied)
+		fmt.Printf("  testing period:  IPC=%.3f  lifetime=%.2fy  energy=%.4gJ  reverted=%v\n",
+			ph.Testing.IPC, ph.Testing.LifetimeYears, ph.Testing.EnergyJ, ph.Reverted)
+	}
+	fmt.Printf("\noverall: IPC=%.3f  lifetime=%.2fy  energy=%.4gJ  (phases=%d, health reverts=%d)\n",
+		res.Overall.IPC, res.Overall.LifetimeYears, res.Overall.EnergyJ, len(res.Phases), res.HealthReverts)
+
+	if *mix == "" {
+		// Reference runs on the identical workload.
+		for _, ref := range []struct {
+			label string
+			cfg   mct.Config
+		}{{"default", mct.DefaultConfig()}, {"static ", mct.StaticBaseline()}} {
+			m, e := mct.NewMachine(*bench, ref.cfg)
+			if e != nil {
+				fail(e)
+			}
+			m.Warmup(60_000)
+			w := m.RunInstructions(*insts)
+			fmt.Printf("%s: IPC=%.3f  lifetime=%.2fy  energy=%.4gJ\n",
+				ref.label, w.IPC, w.LifetimeYears, w.EnergyJ)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "mct:", err)
+	os.Exit(1)
+}

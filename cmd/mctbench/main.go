@@ -1,0 +1,99 @@
+// Command mctbench regenerates the tables and figures of the paper's
+// evaluation. Each experiment prints the same rows/series the paper
+// reports.
+//
+// Usage:
+//
+//	mctbench -experiment fig7              # one experiment, full fidelity
+//	mctbench -experiment all -quick        # everything, reduced fidelity
+//	mctbench -list                         # list experiment IDs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mct"
+)
+
+func main() {
+	var (
+		expID   = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		quick   = flag.Bool("quick", false, "reduced fidelity: strided space, short traces")
+		stride  = flag.Int("stride", 0, "override configuration-space stride (0 = preset)")
+		acc     = flag.Int("accesses", 0, "override trace length per evaluation (0 = preset)")
+		insts   = flag.Uint64("insts", 0, "override MCT run length in instructions (0 = preset)")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		quiet   = flag.Bool("quiet", false, "suppress progress output")
+		asJSON  = flag.Bool("json", false, "emit structured JSON instead of text tables")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range mct.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opt := mct.DefaultExperimentOptions()
+	if *quick {
+		opt = mct.QuickExperimentOptions()
+	}
+	if *stride > 0 {
+		opt.Stride = *stride
+	}
+	if *acc > 0 {
+		opt.Accesses = *acc
+	}
+	if *benches != "" {
+		opt.Benchmarks = strings.Split(*benches, ",")
+	}
+	if !*quiet {
+		opt.Progress = os.Stderr
+	}
+	rp := mct.DefaultExperimentRunParams()
+	if *insts > 0 {
+		rp.TotalInsts = *insts
+	}
+	if *quick {
+		rp.TotalInsts = 8_000_000
+		rp.SampleCounts = []int{10, 20, 40, 77, 120}
+		rp.Trials = 2
+	}
+
+	ids := []string{*expID}
+	if *expID == "all" {
+		ids = mct.Experiments()
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, id := range ids {
+		start := time.Now()
+		if *asJSON {
+			rep, err := mct.RunExperimentReport(id, opt, rp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mctbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			if err := enc.Encode(rep); err != nil {
+				fmt.Fprintf(os.Stderr, "mctbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		} else {
+			if err := mct.RunExperiment(id, os.Stdout, opt, rp); err != nil {
+				fmt.Fprintf(os.Stderr, "mctbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+			fmt.Println()
+		}
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

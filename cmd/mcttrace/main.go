@@ -1,0 +1,89 @@
+// Command mcttrace inspects the synthetic workload generators: per-window
+// access intensity, read/write mix, footprint and locality — useful for
+// verifying the cross-application diversity the learning framework relies
+// on.
+//
+// Usage:
+//
+//	mcttrace                      # summary of all benchmarks
+//	mcttrace -benchmark ocean -windows 40   # windowed profile (phases)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mct/internal/trace"
+)
+
+func main() {
+	var (
+		bench    = flag.String("benchmark", "", "profile a single benchmark by window")
+		accesses = flag.Int("accesses", 200_000, "accesses to generate")
+		windows  = flag.Int("windows", 20, "windows for the per-window profile")
+		seed     = flag.Int64("seed", 1, "generator seed")
+	)
+	flag.Parse()
+
+	if *bench == "" {
+		fmt.Printf("%-12s %8s %8s %9s %10s\n", "benchmark", "MPKI", "wr-frac", "insts(M)", "lines")
+		for _, name := range trace.Names() {
+			spec, _ := trace.ByName(name)
+			tr := trace.Collect(trace.NewGenerator(spec, *seed), *accesses)
+			summary(name, tr)
+		}
+		return
+	}
+
+	spec, err := trace.ByName(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mcttrace:", err)
+		os.Exit(1)
+	}
+	tr := trace.Collect(trace.NewGenerator(spec, *seed), *accesses)
+	per := len(tr) / *windows
+	if per == 0 {
+		per = len(tr)
+	}
+	fmt.Printf("%-8s %10s %8s %8s\n", "window", "insts", "MPKI", "wr-frac")
+	for w := 0; w*per < len(tr); w++ {
+		chunk := tr[w*per : min((w+1)*per, len(tr))]
+		var insts uint64
+		var writes int
+		for _, a := range chunk {
+			insts += uint64(a.InstGap)
+			if a.Write {
+				writes++
+			}
+		}
+		mpki := float64(len(chunk)) / float64(insts) * 1000
+		fmt.Printf("%-8d %10d %8.2f %8.3f\n", w, insts, mpki, float64(writes)/float64(len(chunk)))
+	}
+}
+
+func summary(name string, tr []trace.Access) {
+	var insts uint64
+	var writes int
+	lines := map[uint64]struct{}{}
+	for _, a := range tr {
+		insts += uint64(a.InstGap)
+		if a.Write {
+			writes++
+		}
+		lines[a.Addr/trace.LineBytes] = struct{}{}
+	}
+	fmt.Printf("%-12s %8.2f %8.3f %9.2f %10d\n",
+		name,
+		float64(len(tr))/float64(insts)*1000,
+		float64(writes)/float64(len(tr)),
+		float64(insts)/1e6,
+		len(lines))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

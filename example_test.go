@@ -1,0 +1,79 @@
+package mct_test
+
+import (
+	"fmt"
+
+	"mct"
+)
+
+// ExampleEnumerateConfigs shows the Mellow-Writes configuration space
+// sizes: 2,030 legal configurations under the Tables 2–3 grids, doubled
+// when every configuration is also paired with wear quota.
+func ExampleEnumerateConfigs() {
+	learning := mct.EnumerateConfigs(mct.SpaceOptions{})
+	full := mct.EnumerateConfigs(mct.SpaceOptions{IncludeWearQuota: true, WearQuotaTarget: 8})
+	fmt.Println(len(learning), len(full))
+	// Output: 2030 4060
+}
+
+// ExampleDefaultObjective shows the paper's default user-defined objective
+// (§3.2): minimize energy subject to a lifetime floor and an IPC floor
+// relative to the achievable maximum.
+func ExampleDefaultObjective() {
+	obj := mct.DefaultObjective(8)
+	fmt.Println(obj.MinLifetime(), obj.RelativeIPCFloor, obj.Optimize)
+	// Output: 8 0.95 energy
+}
+
+// ExampleStaticBaseline shows the best static policy from prior work that
+// MCT is compared against: bank-aware mellow writes (threshold 1), eager
+// writebacks (threshold 32), wear quota at 8 years, 1×/3× write latencies
+// and cancellation on slow writes.
+func ExampleStaticBaseline() {
+	fmt.Println(mct.StaticBaseline())
+	// Output: bank=T/1 eager=T/32 wq=T/8.0y lat=1.0/3.0 canc=F/T
+}
+
+// ExampleEvaluate measures one configuration on one synthetic workload —
+// the primitive underneath the brute-force "ideal policy" sweeps.
+func ExampleEvaluate() {
+	m, err := mct.Evaluate("zeusmp", 50_000, mct.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(m.IPC > 0, m.LifetimeYears > 0, m.EnergyJ > 0)
+	// Output: true true true
+}
+
+// ExampleNewRuntime is the canonical MCT flow: attach the runtime to a
+// simulated machine and let it learn the best configuration for the
+// workload under the default objective.
+func ExampleNewRuntime() {
+	machine, err := mct.NewMachine("lbm", mct.StaticBaseline())
+	if err != nil {
+		panic(err)
+	}
+	rt, err := mct.NewRuntime(machine, mct.DefaultObjective(8))
+	if err != nil {
+		panic(err)
+	}
+	result, err := rt.Run(10_000_000)
+	if err != nil {
+		panic(err)
+	}
+	decision := result.Phases[len(result.Phases)-1].Decision
+	// The deployed configuration always carries the wear-quota fixup that
+	// guarantees the lifetime floor (§5.3).
+	fmt.Println(decision.Chosen.WearQuota, decision.Chosen.WearQuotaTarget)
+	// Output: true 8
+}
+
+// ExampleMixMembers lists a Table 11 multi-program mix.
+func ExampleMixMembers() {
+	members, err := mct.MixMembers("mix4")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(members)
+	// Output: [lbm leslie3d zeusmp GemsFDTD]
+}

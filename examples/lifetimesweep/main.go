@@ -1,0 +1,93 @@
+// Lifetime-target sweep: the paper's §3.3.2 motivation — the ideal NVM
+// configuration changes dramatically with the user-defined lifetime target.
+// This example brute-forces the configuration space of one workload at
+// several targets (a small-scale Table 4) and then shows MCT adapting its
+// choice to each target without the brute force.
+//
+//	go run ./examples/lifetimesweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mct"
+)
+
+const benchmark = "lbm"
+
+func main() {
+	targets := []float64{4, 6, 8, 10}
+
+	// Brute-force reference: evaluate a strided subset of the space once,
+	// then re-apply each objective to the measured data.
+	space := mct.NewSpace(mct.SpaceOptions{})
+	fmt.Printf("evaluating %d of %d configurations of %s...\n",
+		space.Len()/8, space.Len(), benchmark)
+
+	type measured struct {
+		cfg mct.Config
+		m   mct.Metrics
+	}
+	var cfgs []mct.Config
+	for i := 0; i < space.Len(); i += 8 {
+		cfgs = append(cfgs, space.At(i))
+	}
+	metrics, err := mct.EvaluateMany(benchmark, 40_000, cfgs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sweep := make([]measured, len(cfgs))
+	for i := range cfgs {
+		sweep[i] = measured{cfgs[i], metrics[i]}
+	}
+
+	fmt.Printf("\n%-8s | %-60s | %8s %8s\n", "target", "ideal configuration (brute force)", "IPC", "life(y)")
+	for _, t := range targets {
+		best := -1
+		var bestIPC float64
+		// Pass 1: best IPC among lifetime-qualified configs.
+		for i, s := range sweep {
+			if s.m.LifetimeYears >= t && s.m.IPC > bestIPC {
+				bestIPC = s.m.IPC
+				best = i
+			}
+		}
+		// Pass 2: minimum energy within 95% of that IPC.
+		bestEnergy := -1
+		for i, s := range sweep {
+			if s.m.LifetimeYears >= t && s.m.IPC >= 0.95*bestIPC {
+				if bestEnergy < 0 || s.m.EnergyJ < sweep[bestEnergy].m.EnergyJ {
+					bestEnergy = i
+				}
+			}
+		}
+		if bestEnergy < 0 {
+			fmt.Printf("%6.1fy | %-60s |\n", t, "(unsatisfiable)")
+			continue
+		}
+		s := sweep[bestEnergy]
+		fmt.Printf("%6.1fy | %-60v | %8.3f %8.2f\n", t, s.cfg, s.m.IPC, s.m.LifetimeYears)
+		_ = best
+	}
+
+	// MCT: no brute force — a sampling period per target.
+	fmt.Printf("\n%-8s | %-60s | %8s %8s\n", "target", "MCT-chosen configuration", "IPC", "life(y)")
+	for _, t := range targets {
+		machine, err := mct.NewMachine(benchmark, mct.StaticBaseline())
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt, err := mct.NewRuntime(machine, mct.DefaultObjective(t))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := rt.Run(12_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := res.Phases[len(res.Phases)-1].Decision
+		fmt.Printf("%6.1fy | %-60v | %8.3f %8.2f\n",
+			t, d.Chosen, res.Testing.IPC, res.Testing.LifetimeYears)
+	}
+}

@@ -1,0 +1,3 @@
+module mct
+
+go 1.22

@@ -1,0 +1,102 @@
+package mct_test
+
+import (
+	"math"
+	"testing"
+
+	"mct"
+)
+
+// TestLifetimeGuaranteeEndToEnd is the headline property of the paper: no
+// matter how the predictions come out, the deployed configuration carries a
+// wear-quota fixup, so the testing-period lifetime lands at or above the
+// target (up to quota-regulation slack on stressed workloads).
+func TestLifetimeGuaranteeEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second integration test")
+	}
+	const target = 8.0
+	for _, bench := range []string{"lbm", "gups", "milc"} {
+		m, err := mct.NewMachine(bench, mct.StaticBaseline())
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := mct.NewRuntime(m, mct.DefaultObjective(target))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := rt.Run(15_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The wear quota regulates at slice granularity; allow 15% slack
+		// for workloads that saturate it.
+		if res.Testing.LifetimeYears < target*0.85 {
+			t.Errorf("%s: testing lifetime %.2fy below %gy target", bench, res.Testing.LifetimeYears, target)
+		}
+		d := res.Phases[len(res.Phases)-1].Decision
+		if !d.Chosen.WearQuota || d.Chosen.WearQuotaTarget != target {
+			t.Errorf("%s: fixup missing on %v", bench, d.Chosen)
+		}
+	}
+}
+
+// TestRunDeterministic: identical machines and runtimes must produce
+// bit-identical decisions and metrics.
+func TestRunDeterministic(t *testing.T) {
+	run := func() (mct.Result, error) {
+		m, err := mct.NewMachine("leslie3d", mct.StaticBaseline())
+		if err != nil {
+			return mct.Result{}, err
+		}
+		rt, err := mct.NewRuntime(m, mct.DefaultObjective(8))
+		if err != nil {
+			return mct.Result{}, err
+		}
+		return rt.Run(8_000_000)
+	}
+	a, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Testing.IPC != b.Testing.IPC || a.Testing.EnergyJ != b.Testing.EnergyJ {
+		t.Fatalf("nondeterministic runs: %v vs %v", a.Testing.Vector(), b.Testing.Vector())
+	}
+	da := a.Phases[len(a.Phases)-1].Decision.Chosen
+	db := b.Phases[len(b.Phases)-1].Decision.Chosen
+	if da != db {
+		t.Fatalf("nondeterministic decisions: %v vs %v", da, db)
+	}
+}
+
+// TestObjectiveVariety exercises non-default objectives end to end: an
+// energy budget with IPC maximization, and a lifetime-maximizing goal.
+func TestObjectiveVariety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second integration test")
+	}
+	m, err := mct.NewMachine("milc", mct.StaticBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := mct.Objective{
+		Constraints: []mct.Constraint{{Metric: mct.MetricLifetime, Min: 4}},
+		Optimize:    mct.MetricIPC,
+		Maximize:    true,
+	}
+	rt, err := mct.NewRuntime(m, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := rt.Run(10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Testing.IPC <= 0 || math.IsNaN(res.Testing.IPC) {
+		t.Fatalf("degenerate IPC: %v", res.Testing.IPC)
+	}
+}

@@ -1,0 +1,262 @@
+// Package cache implements the last-level cache model that feeds the NVM
+// memory system: a set-associative write-back, write-allocate cache with
+// true LRU replacement, per-LRU-stack-position hit counters, and the dirty
+// line scanning needed by Eager Mellow Writes (§3.1).
+//
+// The eager-writeback rule of the paper: "If the highest N LRU stack
+// positions of the last level cache contribute less than 1/eager_threshold
+// of total hits in LLC, then we consider these N LRU stack positions to be
+// useless and their corresponding LLC dirty entries can be eagerly written
+// back." UselessPositions computes that N; NextEagerVictim yields dirty
+// lines resident in those positions.
+package cache
+
+import "fmt"
+
+// LineBytes is the cache-line size in bytes.
+const LineBytes = 64
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Stats aggregates cache event counters.
+type Stats struct {
+	Hits        uint64
+	Misses      uint64
+	Writebacks  uint64 // dirty evictions sent to memory
+	EagerWrites uint64 // eager writebacks issued
+	// HitsByPos counts hits by LRU stack position (0 = MRU).
+	HitsByPos []uint64
+}
+
+// Cache is a set-associative write-back LLC. It is not safe for concurrent
+// use.
+type Cache struct {
+	sets     [][]line // each set ordered MRU..LRU
+	setCount int
+	ways     int
+	setMask  uint64
+	stats    Stats
+
+	// eagerCursor remembers where the eager-victim scan left off so
+	// repeated scans cover the whole cache round-robin.
+	eagerCursor int
+}
+
+// New constructs a cache of sizeBytes capacity with the given associativity.
+// sizeBytes must be a positive multiple of ways*LineBytes and yield a
+// power-of-two set count.
+func New(sizeBytes, ways int) (*Cache, error) {
+	if sizeBytes <= 0 || ways <= 0 {
+		return nil, fmt.Errorf("cache: invalid size %d / ways %d", sizeBytes, ways)
+	}
+	lines := sizeBytes / LineBytes
+	if lines*LineBytes != sizeBytes || lines%ways != 0 {
+		return nil, fmt.Errorf("cache: size %d not divisible into %d-way sets of %d-byte lines", sizeBytes, ways, LineBytes)
+	}
+	setCount := lines / ways
+	if setCount&(setCount-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", setCount)
+	}
+	c := &Cache{
+		sets:     make([][]line, setCount),
+		setCount: setCount,
+		ways:     ways,
+		setMask:  uint64(setCount - 1),
+	}
+	backing := make([]line, setCount*ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+	}
+	c.stats.HitsByPos = make([]uint64, ways)
+	return c, nil
+}
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.setCount }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	s := c.stats
+	s.HitsByPos = append([]uint64(nil), c.stats.HitsByPos...)
+	return s
+}
+
+// ResetStats clears the counters (the cache contents are preserved).
+func (c *Cache) ResetStats() {
+	hist := c.stats.HitsByPos
+	for i := range hist {
+		hist[i] = 0
+	}
+	c.stats = Stats{HitsByPos: hist}
+}
+
+func (c *Cache) locate(addr uint64) (setIdx int, tag uint64) {
+	lineAddr := addr / LineBytes
+	return int(lineAddr & c.setMask), lineAddr >> uint(log2(c.setCount))
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// Result describes the memory-side consequences of one cache access.
+type Result struct {
+	Hit bool
+	// Miss fill: the line address fetched from memory (valid when !Hit).
+	FillAddr uint64
+	// Writeback reports a dirty eviction; WritebackAddr is its line-aligned
+	// byte address.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Access performs a load (write=false) or store (write=true) at addr and
+// returns what the memory system must do: nothing (hit), a fill (read
+// miss), and possibly a dirty writeback (victim eviction).
+func (c *Cache) Access(addr uint64, write bool) Result {
+	setIdx, tag := c.locate(addr)
+	set := c.sets[setIdx]
+
+	for pos := range set {
+		if set[pos].valid && set[pos].tag == tag {
+			c.stats.Hits++
+			c.stats.HitsByPos[pos]++
+			hitLine := set[pos]
+			if write {
+				hitLine.dirty = true
+			}
+			// Move to MRU.
+			copy(set[1:pos+1], set[:pos])
+			set[0] = hitLine
+			return Result{Hit: true}
+		}
+	}
+
+	// Miss: evict LRU (last position), fill at MRU.
+	c.stats.Misses++
+	res := Result{FillAddr: addr &^ uint64(LineBytes-1)}
+	victim := set[c.ways-1]
+	if victim.valid && victim.dirty {
+		c.stats.Writebacks++
+		res.Writeback = true
+		res.WritebackAddr = c.reconstruct(setIdx, victim.tag)
+	}
+	copy(set[1:], set[:c.ways-1])
+	set[0] = line{tag: tag, valid: true, dirty: write}
+	return res
+}
+
+func (c *Cache) reconstruct(setIdx int, tag uint64) uint64 {
+	return (tag<<uint(log2(c.setCount)) | uint64(setIdx)) * LineBytes
+}
+
+// UselessPositions returns how many LRU stack positions (from the
+// least-recently-used end) are considered useless for eager writeback: the
+// positions outside the minimal MRU prefix that accumulates at least
+// 1/eagerThreshold of all hits. A larger eagerThreshold shrinks the
+// protected prefix, classifying more positions as useless — more eager
+// writebacks, higher performance, shorter lifetime, matching the
+// aggressiveness direction stated in §3.1. With no hits at all every
+// position is useless.
+func (c *Cache) UselessPositions(eagerThreshold int) int {
+	if eagerThreshold <= 0 {
+		return 0
+	}
+	var total uint64
+	for _, h := range c.stats.HitsByPos {
+		total += h
+	}
+	if total == 0 {
+		return c.ways
+	}
+	need := float64(total) / float64(eagerThreshold)
+	var cum uint64
+	protected := 0
+	for pos := 0; pos < c.ways; pos++ {
+		protected++
+		cum += c.stats.HitsByPos[pos]
+		if float64(cum) >= need {
+			break
+		}
+	}
+	return c.ways - protected
+}
+
+// NextEagerVictim scans up to maxSets sets (round-robin from where the last
+// scan stopped) for a dirty line residing in one of the uselessN
+// least-recently-used positions. If found, the line is marked clean (its
+// data is now considered written back — a later store re-dirties it, making
+// the eager write wasted wear, as in the paper), and its address is
+// returned.
+func (c *Cache) NextEagerVictim(uselessN, maxSets int) (addr uint64, ok bool) {
+	if uselessN <= 0 {
+		return 0, false
+	}
+	if uselessN > c.ways {
+		uselessN = c.ways
+	}
+	if maxSets <= 0 || maxSets > c.setCount {
+		maxSets = c.setCount
+	}
+	for scanned := 0; scanned < maxSets; scanned++ {
+		setIdx := c.eagerCursor
+		c.eagerCursor = (c.eagerCursor + 1) % c.setCount
+		set := c.sets[setIdx]
+		for pos := c.ways - uselessN; pos < c.ways; pos++ {
+			if set[pos].valid && set[pos].dirty {
+				set[pos].dirty = false
+				c.stats.EagerWrites++
+				return c.reconstruct(setIdx, set[pos].tag), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// Clone returns a deep copy of the cache — contents, statistics and scan
+// cursor. Cloning a warmed cache lets many configuration evaluations share
+// one warmup (cache state does not depend on the NVM configuration).
+func (c *Cache) Clone() *Cache {
+	n := &Cache{
+		sets:        make([][]line, c.setCount),
+		setCount:    c.setCount,
+		ways:        c.ways,
+		setMask:     c.setMask,
+		eagerCursor: c.eagerCursor,
+	}
+	backing := make([]line, c.setCount*c.ways)
+	for i := range c.sets {
+		dst := backing[i*c.ways : (i+1)*c.ways : (i+1)*c.ways]
+		copy(dst, c.sets[i])
+		n.sets[i] = dst
+	}
+	n.stats = c.stats
+	n.stats.HitsByPos = append([]uint64(nil), c.stats.HitsByPos...)
+	return n
+}
+
+// DirtyLines counts the dirty lines currently resident (test/diagnostic
+// helper).
+func (c *Cache) DirtyLines() int {
+	n := 0
+	for _, set := range c.sets {
+		for _, ln := range set {
+			if ln.valid && ln.dirty {
+				n++
+			}
+		}
+	}
+	return n
+}

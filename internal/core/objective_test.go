@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestMetricString(t *testing.T) {
+	if MetricIPC.String() != "IPC" || MetricLifetime.String() != "lifetime" || MetricEnergy.String() != "energy" {
+		t.Fatal("metric names wrong")
+	}
+	if Metric(9).String() == "" {
+		t.Fatal("unknown metric must render")
+	}
+}
+
+func TestDefaultObjective(t *testing.T) {
+	obj := Default(8)
+	if err := obj.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if obj.MinLifetime() != 8 {
+		t.Fatalf("MinLifetime = %v", obj.MinLifetime())
+	}
+	if obj.Optimize != MetricEnergy || obj.Maximize {
+		t.Fatal("default objective must minimize energy")
+	}
+	if obj.RelativeIPCFloor != 0.95 {
+		t.Fatal("default IPC floor must be 0.95")
+	}
+}
+
+func TestObjectiveValidate(t *testing.T) {
+	bad := []Objective{
+		{RelativeIPCFloor: 2},
+		{Optimize: Metric(7)},
+		{Constraints: []Constraint{{Metric: Metric(9)}}},
+		{Constraints: []Constraint{{Metric: MetricIPC, Min: 5, Max: 2}}},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("objective %d should be invalid", i)
+		}
+	}
+}
+
+func TestSelectOptimalPaperSemantics(t *testing.T) {
+	// Rows: [IPC, lifetime, energy].
+	preds := [][3]float64{
+		{1.00, 4, 10}, // fast but short-lived: fails lifetime
+		{0.97, 9, 9},  // qualified, within 95% of best IPC, energy 9
+		{0.98, 10, 8}, // qualified, best energy among floor-satisfiers
+		{0.60, 20, 1}, // qualified but below the IPC floor
+		{0.99, 8, 12}, // qualified, defines max IPC
+	}
+	idx, ok := SelectOptimal(preds, Default(8))
+	if !ok {
+		t.Fatal("constraints are satisfiable")
+	}
+	// Max qualified IPC = 0.99 → floor 0.9405; candidates {1,2,4};
+	// min energy among them is row 2.
+	if idx != 2 {
+		t.Fatalf("selected %d, want 2", idx)
+	}
+}
+
+func TestSelectOptimalMaximize(t *testing.T) {
+	preds := [][3]float64{
+		{0.5, 9, 5},
+		{0.9, 9, 9},
+		{0.8, 2, 1}, // fails lifetime
+	}
+	obj := Objective{
+		Constraints: []Constraint{{Metric: MetricLifetime, Min: 8}},
+		Optimize:    MetricIPC,
+		Maximize:    true,
+	}
+	idx, ok := SelectOptimal(preds, obj)
+	if !ok || idx != 1 {
+		t.Fatalf("selected %d,%v, want 1,true", idx, ok)
+	}
+}
+
+func TestSelectOptimalMaxConstraint(t *testing.T) {
+	// Energy budget: at most 6 J; maximize IPC.
+	preds := [][3]float64{
+		{0.9, 9, 7}, // over budget
+		{0.7, 9, 5},
+		{0.8, 9, 6},
+	}
+	obj := Objective{
+		Constraints: []Constraint{{Metric: MetricEnergy, Max: 6}},
+		Optimize:    MetricIPC,
+		Maximize:    true,
+	}
+	idx, ok := SelectOptimal(preds, obj)
+	if !ok || idx != 2 {
+		t.Fatalf("selected %d,%v, want 2,true", idx, ok)
+	}
+}
+
+func TestSelectOptimalFallback(t *testing.T) {
+	// Nothing satisfies the 8-year floor: fall back to the config with
+	// the largest lifetime margin (the wear-quota fixup then guarantees
+	// the target).
+	preds := [][3]float64{
+		{1.0, 2, 1},
+		{0.9, 6, 2},
+		{0.8, 5, 3},
+	}
+	idx, ok := SelectOptimal(preds, Default(8))
+	if ok {
+		t.Fatal("constraints are unsatisfiable")
+	}
+	if idx != 1 {
+		t.Fatalf("fallback selected %d, want 1 (max lifetime)", idx)
+	}
+}
+
+func TestSelectOptimalEmpty(t *testing.T) {
+	if idx, ok := SelectOptimal(nil, Default(8)); ok || idx != -1 {
+		t.Fatal("empty predictions must fail")
+	}
+}

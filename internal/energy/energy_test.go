@@ -1,0 +1,89 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"mct/internal/nvm"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := Default()
+	m.NVMWriteEnergy = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("negative coefficient must fail validation")
+	}
+}
+
+func TestWriteEnergyScaling(t *testing.T) {
+	m := Default()
+	e1 := m.WriteEnergy(1)
+	e4 := m.WriteEnergy(4)
+	if e1 != m.NVMWriteEnergy {
+		t.Fatalf("unit-ratio write energy = %v, want %v", e1, m.NVMWriteEnergy)
+	}
+	// Exponent −0.5: 4× writes cost half the energy.
+	if math.Abs(e4-e1/2) > 1e-15 {
+		t.Fatalf("4x write energy = %v, want %v", e4, e1/2)
+	}
+	// Degenerate ratio treated as 1.
+	if m.WriteEnergy(0) != e1 {
+		t.Fatal("ratio 0 must fall back to 1")
+	}
+}
+
+func TestComputeComponents(t *testing.T) {
+	m := Model{
+		CPUDynamicPerInst:   2e-9,
+		CPUStaticPower:      1,
+		NVMReadEnergy:       3e-9,
+		NVMWriteEnergy:      10e-9,
+		WriteEnergyExponent: 0, // flat for easy arithmetic
+		NVMStaticPower:      0.5,
+	}
+	st := nvm.Stats{
+		Reads:         100,
+		WritesByRatio: map[float64]uint64{1: 10, 2: 5},
+	}
+	b := m.Compute(1000, 2.0, st)
+	approx := func(got, want float64) bool { return math.Abs(got-want) <= 1e-12*math.Max(1, math.Abs(want)) }
+	if !approx(b.CPUDynamic, 1000*2e-9) {
+		t.Fatalf("CPU dynamic = %v", b.CPUDynamic)
+	}
+	if b.CPUStatic != 2.0 {
+		t.Fatalf("CPU static = %v", b.CPUStatic)
+	}
+	if !approx(b.NVMRead, 100*3e-9) {
+		t.Fatalf("NVM read = %v", b.NVMRead)
+	}
+	if !approx(b.NVMWrite, 15*10e-9) {
+		t.Fatalf("NVM write = %v", b.NVMWrite)
+	}
+	if b.NVMStatic != 1.0 {
+		t.Fatalf("NVM static = %v", b.NVMStatic)
+	}
+	want := b.CPUDynamic + b.CPUStatic + b.NVMRead + b.NVMWrite + b.NVMStatic
+	if b.Total() != want {
+		t.Fatalf("Total = %v, want %v", b.Total(), want)
+	}
+}
+
+func TestSlowWritesTradeEnergy(t *testing.T) {
+	// The design tension of the paper: slow writes cost less write energy
+	// but stretch execution time, costing static energy. Verify both
+	// directions move as intended.
+	m := Default()
+	stFast := nvm.Stats{WritesByRatio: map[float64]uint64{1: 1000}}
+	stSlow := nvm.Stats{WritesByRatio: map[float64]uint64{3: 1000}}
+	fast := m.Compute(1e6, 0.010, stFast)
+	slow := m.Compute(1e6, 0.013, stSlow) // 30% longer runtime
+	if slow.NVMWrite >= fast.NVMWrite {
+		t.Fatal("slow writes must cost less write energy")
+	}
+	if slow.CPUStatic <= fast.CPUStatic {
+		t.Fatal("longer runtime must cost more static energy")
+	}
+}

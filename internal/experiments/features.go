@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"mct/internal/config"
+	"mct/internal/core"
+	"mct/internal/ml"
+	"mct/internal/sampling"
+	"mct/internal/stats"
+)
+
+// compressedRows returns the 5-feature (§4.4) encodings of a sweep.
+func compressedRows(sw *Sweep) [][]float64 {
+	X := make([][]float64, len(sw.Indices))
+	for i, idx := range sw.Indices {
+		X[i] = sw.Space.At(idx).Compressed()
+	}
+	return X
+}
+
+// RankedFeature is one entry of a Table 6 ranking.
+type RankedFeature struct {
+	Name   string
+	Weight float64
+}
+
+// TopFeaturesResult holds one benchmark's Table 6 row.
+type TopFeaturesResult struct {
+	Benchmark string
+	Metric    core.Metric
+	Top       []RankedFeature
+}
+
+// TopQuadraticFeatures reproduces Table 6: the most effective quadratic
+// features per application, ranked by the magnitude of quadratic-lasso
+// coefficients fitted on the (compressed-feature) ground truth.
+func TopQuadraticFeatures(metric core.Metric, topN int, opt Options) ([]TopFeaturesResult, *Report, error) {
+	if topN <= 0 {
+		topN = 3
+	}
+	names := ml.QuadraticNames(config.CompressedNames())
+	var results []TopFeaturesResult
+	tbl := Table{
+		Title:  fmt.Sprintf("Table 6: top-%d quadratic-lasso features per application (target: %v)", topN, metric),
+		Header: []string{"benchmark", "rank", "feature", "weight"},
+	}
+	for _, bench := range opt.Benchmarks {
+		sw, err := RunSweep(bench, false, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		lasso := ml.NewQuadraticLasso(ml.DefaultLassoLambda)
+		if err := lasso.Fit(compressedRows(sw), sw.Targets(metric, true)); err != nil {
+			return nil, nil, err
+		}
+		w, _ := lasso.Coefficients()
+		type scored struct {
+			j int
+			v float64
+		}
+		var s []scored
+		for j, v := range w {
+			if v != 0 {
+				s = append(s, scored{j, v})
+			}
+		}
+		sort.Slice(s, func(a, b int) bool { return math.Abs(s[a].v) > math.Abs(s[b].v) })
+		r := TopFeaturesResult{Benchmark: bench, Metric: metric}
+		for k := 0; k < topN && k < len(s); k++ {
+			r.Top = append(r.Top, RankedFeature{Name: names[s[k].j], Weight: s[k].v})
+			sign := "+"
+			if s[k].v < 0 {
+				sign = "-"
+			}
+			tbl.AddRow(bench, fmt.Sprintf("%d", k+1), sign+names[s[k].j], f4(s[k].v))
+		}
+		results = append(results, r)
+	}
+	rep := &Report{ID: "table6", Tables: []Table{tbl}}
+	rep.Notes = append(rep.Notes, "weights are on standardized features; sign shows impact direction, magnitude shows effectiveness")
+	return results, rep, nil
+}
+
+// LassoCoefficientsResult holds Figure 4a data for one benchmark: linear
+// lasso coefficients on the five compressed features, per objective.
+type LassoCoefficientsResult struct {
+	Benchmark string
+	// Coef[metric][feature]; features ordered as config.CompressedNames().
+	Coef [3][]float64
+}
+
+// LassoCoefficients reproduces Figure 4a: linear-model lasso coefficients
+// of the compressed features. The paper's finding: bank_aware and
+// eager_writebacks coefficients are near zero for all objectives of all
+// applications, leaving fast_latency, slow_latency and cancellation as the
+// three primary features.
+func LassoCoefficients(opt Options) ([]LassoCoefficientsResult, *Report, error) {
+	var results []LassoCoefficientsResult
+	names := config.CompressedNames()
+	tbl := Table{Title: "Figure 4a: linear lasso coefficients (standardized features)"}
+	tbl.Header = append([]string{"benchmark", "objective"}, names...)
+
+	metricNames := []string{"IPC", "lifetime", "energy"}
+	for _, bench := range opt.Benchmarks {
+		sw, err := RunSweep(bench, false, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		X := compressedRows(sw)
+		r := LassoCoefficientsResult{Benchmark: bench}
+		for t := 0; t < 3; t++ {
+			lasso := ml.NewLinearLasso(ml.DefaultLassoLambda)
+			if err := lasso.Fit(X, sw.Targets(core.Metric(t), true)); err != nil {
+				return nil, nil, err
+			}
+			w, _ := lasso.Coefficients()
+			r.Coef[t] = w
+			row := []string{bench, metricNames[t]}
+			for _, v := range w {
+				row = append(row, f4(v))
+			}
+			tbl.AddRow(row...)
+		}
+		results = append(results, r)
+	}
+	rep := &Report{ID: "fig4a", Tables: []Table{tbl}}
+	return results, rep, nil
+}
+
+// SamplingAccuracyResult holds Figure 4b data for one benchmark.
+type SamplingAccuracyResult struct {
+	Benchmark string
+	// R² per metric for feature-based and random sampling with matched
+	// sample counts.
+	FeatureBased [3]float64
+	Random       [3]float64
+	Samples      int
+}
+
+// FeatureVsRandomSampling reproduces Figure 4b: gradient-boosting accuracy
+// when trained on the feature-based sample set versus an equally sized
+// random sample set.
+func FeatureVsRandomSampling(opt Options) ([]SamplingAccuracyResult, *Report, error) {
+	var results []SamplingAccuracyResult
+	tbl := Table{
+		Title:  "Figure 4b: gboost R², feature-based vs random sampling",
+		Header: []string{"benchmark", "n", "ipc_fb", "ipc_rand", "life_fb", "life_rand", "en_fb", "en_rand"},
+	}
+	for _, bench := range opt.Benchmarks {
+		sw, err := RunSweep(bench, false, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Sample plans are built over the swept subset: treat positions in
+		// the sweep as the space (the strided sweep is itself a space
+		// subsample in quick runs).
+		posOf := make(map[int]int, len(sw.Indices))
+		for pos, idx := range sw.Indices {
+			posOf[idx] = pos
+		}
+		fbPlan := sampling.FeatureBased(sw.Space, opt.Seed)
+		var fbPos []int
+		for _, idx := range fbPlan.Indices {
+			if p, ok := posOf[idx]; ok {
+				fbPos = append(fbPos, p)
+			}
+		}
+		if len(fbPos) < 4 {
+			// Strided sweep too sparse to contain the grid; sample from
+			// what we have.
+			for p := 0; p < len(sw.Indices) && len(fbPos) < 16; p += 3 {
+				fbPos = append(fbPos, p)
+			}
+		}
+		rndPlan := sampling.Random(sw.Space, len(fbPos), opt.Seed+9)
+		var rndPos []int
+		for _, idx := range rndPlan.Indices {
+			if p, ok := posOf[idx]; ok {
+				rndPos = append(rndPos, p)
+			}
+		}
+		for p := 0; len(rndPos) < len(fbPos) && p < len(sw.Indices); p += 7 {
+			rndPos = append(rndPos, p)
+		}
+
+		X := sw.Vectors()
+		r := SamplingAccuracyResult{Benchmark: bench, Samples: len(fbPos)}
+		for t := 0; t < 3; t++ {
+			truth := sw.Targets(core.Metric(t), true)
+			eval := func(train []int) float64 {
+				gb := ml.NewGBoost(ml.DefaultGBoostOptions())
+				trX := make([][]float64, len(train))
+				trY := make([]float64, len(train))
+				inTrain := map[int]bool{}
+				for i, p := range train {
+					trX[i], trY[i] = X[p], truth[p]
+					inTrain[p] = true
+				}
+				if err := gb.Fit(trX, trY); err != nil {
+					return 0
+				}
+				var pred, want []float64
+				for i := range X {
+					if inTrain[i] {
+						continue
+					}
+					pred = append(pred, gb.Predict(X[i]))
+					want = append(want, truth[i])
+				}
+				return stats.R2(pred, want)
+			}
+			r.FeatureBased[t] = eval(fbPos)
+			r.Random[t] = eval(rndPos[:min(len(rndPos), len(fbPos))])
+		}
+		results = append(results, r)
+		tbl.AddRow(bench, fmt.Sprintf("%d", r.Samples),
+			f3(r.FeatureBased[0]), f3(r.Random[0]),
+			f3(r.FeatureBased[1]), f3(r.Random[1]),
+			f3(r.FeatureBased[2]), f3(r.Random[2]))
+		progress(opt.Progress, "fig4b: %s done", bench)
+	}
+	rep := &Report{ID: "fig4b", Tables: []Table{tbl}}
+	return results, rep, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Average3 is a helper returning the mean of a [3]float64 slice column
+// across results (used by reports and tests).
+func Average3(vals [][3]float64) [3]float64 {
+	var out [3]float64
+	if len(vals) == 0 {
+		return out
+	}
+	for _, v := range vals {
+		for i := 0; i < 3; i++ {
+			out[i] += v[i]
+		}
+	}
+	for i := 0; i < 3; i++ {
+		out[i] /= float64(len(vals))
+	}
+	return out
+}
+
+// geoMeanOf is a small convenience for gain aggregation.
+func geoMeanOf(xs []float64) float64 { return stats.GeoMean(xs) }

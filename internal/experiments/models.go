@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"mct/internal/core"
+	"mct/internal/ml"
+	"mct/internal/stats"
+)
+
+// ModelComparisonResult holds the Figure 2 / Table 7 data.
+type ModelComparisonResult struct {
+	SampleCounts []int
+	Models       []string
+	// Acc[model][metric][k] is the mean R² across benchmarks when training
+	// on SampleCounts[k] samples.
+	Acc map[string][3][]float64
+	// FitMS[model] is the measured fit+predict-all time in milliseconds at
+	// the 77-sample operating point.
+	FitMS map[string]float64
+	// NeedsOffline/NeedsOnline mirror Table 7's columns.
+	NeedsOffline map[string]bool
+	NeedsOnline  map[string]bool
+}
+
+// modelComparisonModels is the Table 7 model list.
+func modelComparisonModels() []string {
+	return []string{
+		ml.NameOffline,
+		ml.NameLinear, ml.NameLinearLasso,
+		ml.NameQuadratic, ml.NameQuadraticLasso,
+		ml.NameGBoost, ml.NameHBayes,
+	}
+}
+
+// hbTaskRows bounds the offline rows per task fed to the hierarchical
+// Bayesian prior (keeps EM cost sane).
+const hbTaskRows = 300
+
+// ModelComparison reproduces Figure 2 and Table 7: convergence rate and
+// prediction accuracy of all predictors versus the number of runtime
+// samples, plus measured computation overheads. Ground truth is the
+// brute-force sweep; targets are normalized to the baseline configuration.
+func ModelComparison(sampleCounts []int, trials int, opt Options) (*ModelComparisonResult, *Report, error) {
+	if len(sampleCounts) == 0 {
+		sampleCounts = []int{10, 20, 40, 77, 120, 160, 200}
+	}
+	if trials <= 0 {
+		trials = 3
+	}
+	models := modelComparisonModels()
+
+	// Sweeps for every benchmark (ground truth + offline data).
+	sweeps := make(map[string]*Sweep, len(opt.Benchmarks))
+	for _, b := range opt.Benchmarks {
+		progress(opt.Progress, "fig2: sweeping %s", b)
+		sw, err := RunSweep(b, false, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		sweeps[b] = sw
+	}
+
+	res := &ModelComparisonResult{
+		SampleCounts: sampleCounts,
+		Models:       models,
+		Acc:          map[string][3][]float64{},
+		FitMS:        map[string]float64{},
+		NeedsOffline: map[string]bool{
+			ml.NameOffline: true, ml.NameHBayes: true,
+		},
+		NeedsOnline: map[string]bool{
+			ml.NameLinear: true, ml.NameLinearLasso: true,
+			ml.NameQuadratic: true, ml.NameQuadraticLasso: true,
+			ml.NameGBoost: true, ml.NameHBayes: true,
+		},
+	}
+	for _, m := range models {
+		var acc [3][]float64
+		for t := range acc {
+			acc[t] = make([]float64, len(sampleCounts))
+		}
+		res.Acc[m] = acc
+	}
+
+	// offlineTables[bench][metric] is a leave-one-out offline predictor.
+	buildOffline := func(bench string, metric core.Metric) *ml.Offline {
+		var ds []ml.Dataset
+		for _, other := range opt.Benchmarks {
+			if other == bench {
+				continue
+			}
+			sw := sweeps[other]
+			ds = append(ds, ml.Dataset{X: sw.Vectors(), Y: sw.Targets(metric, true)})
+		}
+		return ml.NewOffline(ds)
+	}
+	buildHBayes := func(bench string, metric core.Metric, rng *rand.Rand) (*ml.HBayes, error) {
+		var ds []ml.Dataset
+		for _, other := range opt.Benchmarks {
+			if other == bench {
+				continue
+			}
+			sw := sweeps[other]
+			X, Y := sw.Vectors(), sw.Targets(metric, true)
+			if len(X) > hbTaskRows {
+				perm := rng.Perm(len(X))[:hbTaskRows]
+				xs := make([][]float64, hbTaskRows)
+				ys := make([]float64, hbTaskRows)
+				for i, p := range perm {
+					xs[i], ys[i] = X[p], Y[p]
+				}
+				X, Y = xs, ys
+			}
+			ds = append(ds, ml.Dataset{X: X, Y: Y})
+		}
+		return ml.NewHierarchicalBayes(ds, 10)
+	}
+
+	counts := map[string]int{} // benchmarks contributing (for averaging)
+	for _, bench := range opt.Benchmarks {
+		sw := sweeps[bench]
+		X := sw.Vectors()
+		var truth [3][]float64
+		for t := 0; t < 3; t++ {
+			truth[t] = sw.Targets(core.Metric(t), true)
+		}
+		rng := rand.New(rand.NewSource(opt.Seed + 77))
+
+		for ci, n := range sampleCounts {
+			// Keep a held-out set: accuracy over zero test rows is
+			// meaningless (strided quick runs have few rows).
+			if maxN := len(X) * 4 / 5; n > maxN {
+				n = maxN
+			}
+			if n < 2 {
+				n = 2
+			}
+			for trial := 0; trial < trials; trial++ {
+				perm := rng.Perm(len(X))
+				trainIdx := perm[:n]
+				trX := make([][]float64, n)
+				for i, p := range trainIdx {
+					trX[i] = X[p]
+				}
+				inTrain := make(map[int]bool, n)
+				for _, p := range trainIdx {
+					inTrain[p] = true
+				}
+
+				for _, mname := range models {
+					for t := 0; t < 3; t++ {
+						metric := core.Metric(t)
+						trY := make([]float64, n)
+						for i, p := range trainIdx {
+							trY[i] = truth[t][p]
+						}
+						var p ml.Predictor
+						var err error
+						switch mname {
+						case ml.NameOffline:
+							p = buildOffline(bench, metric)
+						case ml.NameHBayes:
+							p, err = buildHBayes(bench, metric, rng)
+						default:
+							p, err = ml.New(mname)
+						}
+						if err != nil {
+							return nil, nil, fmt.Errorf("experiments: %s: %w", mname, err)
+						}
+						if err := p.Fit(trX, trY); err != nil {
+							return nil, nil, fmt.Errorf("experiments: fit %s on %s: %w", mname, bench, err)
+						}
+						var pred, want []float64
+						for i := range X {
+							if inTrain[i] {
+								continue
+							}
+							pred = append(pred, p.Predict(X[i]))
+							want = append(want, truth[t][i])
+						}
+						acc := res.Acc[mname]
+						acc[t][ci] += stats.R2(pred, want) / float64(trials)
+						res.Acc[mname] = acc
+					}
+				}
+			}
+		}
+		counts["_"]++
+		progress(opt.Progress, "fig2: %s evaluated", bench)
+	}
+	nb := float64(counts["_"])
+	for _, mname := range models {
+		acc := res.Acc[mname]
+		for t := 0; t < 3; t++ {
+			for i := range acc[t] {
+				acc[t][i] /= nb
+			}
+		}
+		res.Acc[mname] = acc
+	}
+
+	// Measured computation overheads at the 77-sample point on the first
+	// benchmark (fit + predict the full space), cf. Table 7.
+	bench := opt.Benchmarks[0]
+	sw := sweeps[bench]
+	X := sw.Vectors()
+	rng := rand.New(rand.NewSource(opt.Seed + 5))
+	n := 77
+	if n > len(X) {
+		n = len(X)
+	}
+	perm := rng.Perm(len(X))[:n]
+	trX := make([][]float64, n)
+	trY := make([]float64, n)
+	truth := sw.Targets(core.MetricIPC, true)
+	for i, p := range perm {
+		trX[i], trY[i] = X[p], truth[p]
+	}
+	for _, mname := range models {
+		var p ml.Predictor
+		var err error
+		switch mname {
+		case ml.NameOffline:
+			p = buildOffline(bench, core.MetricIPC)
+		case ml.NameHBayes:
+			start := time.Now()
+			p, err = buildHBayes(bench, core.MetricIPC, rng)
+			if err != nil {
+				return nil, nil, err
+			}
+			_ = start // prior training is offline; only online cost below counts
+		default:
+			if p, err = ml.New(mname); err != nil {
+				return nil, nil, err
+			}
+		}
+		start := time.Now()
+		if err := p.Fit(trX, trY); err != nil {
+			return nil, nil, err
+		}
+		for i := range X {
+			p.Predict(X[i])
+		}
+		res.FitMS[mname] = float64(time.Since(start).Microseconds()) / 1000.0
+	}
+
+	// Render.
+	rep := &Report{ID: "fig2"}
+	t7 := Table{Title: "Table 7: predictor comparison", Header: []string{"predictor", "offline data", "online data", "overhead (ms)"}}
+	yn := func(b bool) string {
+		if b {
+			return "Yes"
+		}
+		return "No"
+	}
+	for _, m := range models {
+		t7.AddRow(m, yn(res.NeedsOffline[m]), yn(res.NeedsOnline[m]), f3(res.FitMS[m]))
+	}
+	rep.Tables = append(rep.Tables, t7)
+
+	metricNames := []string{"IPC", "lifetime", "energy"}
+	for t := 0; t < 3; t++ {
+		tb := Table{Title: fmt.Sprintf("Figure 2 (%s): mean R² vs #samples", metricNames[t])}
+		tb.Header = append(tb.Header, "model")
+		for _, n := range sampleCounts {
+			tb.Header = append(tb.Header, fmt.Sprintf("n=%d", n))
+		}
+		for _, m := range models {
+			row := []string{m}
+			for i := range sampleCounts {
+				row = append(row, f3(res.Acc[m][t][i]))
+			}
+			tb.AddRow(row...)
+		}
+		rep.Tables = append(rep.Tables, tb)
+	}
+	return res, rep, nil
+}

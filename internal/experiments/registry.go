@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"mct/internal/ml"
+	"mct/internal/phase"
+)
+
+// RunParams tunes the per-experiment knobs used by Run.
+type RunParams struct {
+	// TotalInsts is the MCT end-to-end run length.
+	TotalInsts uint64
+	// SampleCounts drives the Figure 2 convergence axis.
+	SampleCounts []int
+	// Trials averages stochastic experiments.
+	Trials int
+}
+
+// DefaultRunParams returns the standard experiment scales.
+func DefaultRunParams() RunParams {
+	return RunParams{
+		TotalInsts:   15_000_000,
+		SampleCounts: []int{10, 20, 40, 77, 120, 160, 200},
+		Trials:       3,
+	}
+}
+
+// fig6PhaseOptions scales the paper's detector (I=1M, 100/1000 windows) to
+// the simulator's trace lengths while keeping the ratios' spirit: dramatic
+// phases must dominate the short window.
+func fig6PhaseOptions() phase.Options {
+	return phase.Options{IntervalInsts: 25_000, ShortWindows: 40, LongWindows: 400, Threshold: 15}
+}
+
+// Run executes one experiment by ID and returns its report. Valid IDs are
+// listed by IDs().
+func Run(id string, opt Options, rp RunParams) (*Report, error) {
+	switch id {
+	case "space":
+		return SpaceSummary(opt), nil
+	case "table4":
+		bench := "leslie3d"
+		_, rep, err := IdealByLifetime(bench, []float64{4, 6, 8, 10}, opt)
+		return rep, err
+	case "fig1", "table5":
+		_, rep, err := IdealByApp(opt)
+		return rep, err
+	case "table6":
+		_, rep, err := TopQuadraticFeatures(0 /* IPC */, 3, opt)
+		return rep, err
+	case "fig2", "table7":
+		_, rep, err := ModelComparison(rp.SampleCounts, rp.Trials, opt)
+		return rep, err
+	case "fig3":
+		_, rep, err := WearQuotaAblation(77, rp.Trials, opt)
+		return rep, err
+	case "fig4a":
+		_, rep, err := LassoCoefficients(opt)
+		return rep, err
+	case "fig4", "fig4b":
+		_, rep, err := FeatureVsRandomSampling(opt)
+		return rep, err
+	case "fig6":
+		_, rep, err := PhaseDetection("ocean", 40_000_000, fig6PhaseOptions(), opt)
+		return rep, err
+	case "fig7", "table10":
+		_, rep, err := MCTComparison([]string{ml.NameGBoost, ml.NameQuadraticLasso}, rp.TotalInsts, opt)
+		return rep, err
+	case "fig8":
+		benches := []string{"lbm", "leslie3d", "GemsFDTD", "stream"}
+		_, rep, err := LifetimeSensitivity(benches, []float64{4, 6, 8, 10}, rp.TotalInsts, opt)
+		return rep, err
+	case "fig9":
+		_, rep, err := SamplingOverhead(nil, rp.TotalInsts, opt)
+		return rep, err
+	case "fig10", "table11":
+		_, rep, err := MultiProgram(nil, rp.TotalInsts, opt)
+		return rep, err
+	case "wq-learning":
+		_, rep, err := WearQuotaLearning([]string{"lbm", "leslie3d"}, rp.TotalInsts, opt)
+		return rep, err
+	case "ablation-norm":
+		_, rep, err := NormalizationAblation(77, rp.Trials, opt)
+		return rep, err
+	case "ablation-settle":
+		_, rep, err := SettleAblation([]string{"lbm", "stream", "gups"}, rp.TotalInsts, opt)
+		return rep, err
+	case "extension-retention":
+		_, rep, err := RetentionExtension([]string{"lbm", "stream", "zeusmp"}, opt.LifetimeTarget, opt)
+		return rep, err
+	case "validate-wearlevel":
+		_, rep, err := WearLevelValidation(0, 0, opt)
+		return rep, err
+	case "ablation-power":
+		_, rep, err := PowerBudgetAblation([]string{"lbm", "stream", "zeusmp"}, nil, opt)
+		return rep, err
+	default:
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+}
+
+// IDs lists the runnable experiment identifiers.
+func IDs() []string {
+	ids := []string{
+		"space", "table4", "fig1", "table6", "fig2", "fig3",
+		"fig4a", "fig4b", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"wq-learning",
+		"ablation-norm", "ablation-settle", "ablation-power",
+		"validate-wearlevel", "extension-retention",
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"mct/internal/config"
+)
+
+// SpaceSummary reproduces the Tables 2/3 configuration-space accounting:
+// the techniques, their parameters and grids, and the size of the legal
+// enumeration (the paper reports 3,164 configurations; see DESIGN.md for
+// the grid deviation).
+func SpaceSummary(opt Options) *Report {
+	noWQ := config.NewSpace(config.SpaceOptions{})
+	withWQ := config.NewSpace(config.SpaceOptions{IncludeWearQuota: true, WearQuotaTarget: opt.LifetimeTarget})
+
+	t2 := Table{Title: "Tables 2/3: configuration-space structure", Header: []string{"parameter", "values"}}
+	t2.AddRow("fast_latency / slow_latency", fmt.Sprintf("%v (slow ≥ fast)", config.LatencyGrid))
+	t2.AddRow("fast/slow cancellation", "(F,F), (F,T), (T,T)")
+	t2.AddRow("bank_aware_threshold", fmt.Sprintf("%v", config.BankThresholdGrid))
+	t2.AddRow("eager_threshold", fmt.Sprintf("%v", config.EagerThresholdGrid))
+	t2.AddRow("wear_quota_target", fmt.Sprintf("%.1f years (the objective's floor)", opt.LifetimeTarget))
+
+	counts := Table{Title: "space sizes", Header: []string{"space", "configurations"}}
+	counts.AddRow("without wear quota (learning space)", fmt.Sprintf("%d", noWQ.Len()))
+	counts.AddRow("with wear quota (full space)", fmt.Sprintf("%d", withWQ.Len()))
+
+	byCase := Table{Title: "breakdown by enabled techniques (no wear quota)", Header: []string{"techniques", "configurations"}}
+	count := func(keep func(config.Config) bool) int { return len(noWQ.Filter(keep)) }
+	byCase.AddRow("neither", fmt.Sprintf("%d", count(func(c config.Config) bool { return !c.BankAware && !c.EagerWritebacks })))
+	byCase.AddRow("bank-aware only", fmt.Sprintf("%d", count(func(c config.Config) bool { return c.BankAware && !c.EagerWritebacks })))
+	byCase.AddRow("eager only", fmt.Sprintf("%d", count(func(c config.Config) bool { return !c.BankAware && c.EagerWritebacks })))
+	byCase.AddRow("both", fmt.Sprintf("%d", count(func(c config.Config) bool { return c.BankAware && c.EagerWritebacks })))
+
+	rep := &Report{ID: "space", Tables: []Table{t2, counts, byCase}}
+	rep.Notes = append(rep.Notes, "paper reports 3,164 configurations; the exact grids are unpublished — see DESIGN.md, Known deviations")
+	return rep
+}

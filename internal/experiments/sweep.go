@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"mct/internal/config"
+	"mct/internal/core"
+	"mct/internal/sim"
+	"mct/internal/trace"
+)
+
+// Options configures the experiment drivers. The defaults balance fidelity
+// against the cost of brute-force sweeps (the paper burned 300,000
+// CPU-hours on its sweep; ours finishes in minutes).
+type Options struct {
+	// Benchmarks to evaluate (default: all ten).
+	Benchmarks []string
+	// Accesses is the trace length per configuration evaluation.
+	Accesses int
+	// Stride evaluates every Stride-th configuration of the space in
+	// brute-force sweeps (1 = full space; tests use larger strides).
+	Stride int
+	// LifetimeTarget is the default minimum-lifetime objective (years).
+	LifetimeTarget float64
+	// Sim is the simulated system.
+	Sim sim.Options
+	// Seed drives workload and sampling randomness.
+	Seed int64
+	// Progress, when non-nil, receives progress lines.
+	Progress io.Writer
+}
+
+// DefaultOptions returns full-fidelity settings (full space, all
+// benchmarks).
+func DefaultOptions() Options {
+	return Options{
+		Benchmarks:     trace.Names(),
+		Accesses:       30_000,
+		Stride:         1,
+		LifetimeTarget: 8,
+		Sim:            sim.DefaultOptions(),
+		Seed:           1,
+	}
+}
+
+// QuickOptions returns reduced-fidelity settings for tests: a strided
+// subset of the space and shorter traces.
+func QuickOptions() Options {
+	o := DefaultOptions()
+	o.Accesses = 8_000
+	o.Stride = 23
+	return o
+}
+
+// Sweep holds the brute-force evaluation of (a strided subset of) a
+// configuration space on one benchmark — the raw material for "ideal"
+// selection and for training/validating predictors on ground truth.
+type Sweep struct {
+	Benchmark string
+	Space     *config.Space
+	// Indices are the evaluated configuration indices (ascending).
+	Indices []int
+	// Metrics[i] is the measurement of Space.At(Indices[i]).
+	Metrics []sim.Metrics
+	// Baseline and Default are the static-policy and default-system
+	// measurements on the identical trace.
+	Baseline sim.Metrics
+	Default  sim.Metrics
+}
+
+// sweepKey identifies a cached sweep.
+type sweepKey struct {
+	bench    string
+	accesses int
+	stride   int
+	wq       bool
+	target   float64
+	seed     int64
+}
+
+var (
+	sweepMu    sync.Mutex
+	sweepCache = map[sweepKey]*Sweep{}
+)
+
+// RunSweep evaluates the configuration space (wear quota included when
+// includeWQ) on one benchmark, caching results in-process so experiments
+// sharing a sweep don't recompute it.
+func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
+	key := sweepKey{
+		bench:    benchmark,
+		accesses: opt.Accesses,
+		stride:   opt.Stride,
+		wq:       includeWQ,
+		target:   opt.LifetimeTarget,
+		seed:     opt.Seed,
+	}
+	sweepMu.Lock()
+	if s, ok := sweepCache[key]; ok {
+		sweepMu.Unlock()
+		return s, nil
+	}
+	sweepMu.Unlock()
+
+	space := config.NewSpace(config.SpaceOptions{IncludeWearQuota: includeWQ, WearQuotaTarget: opt.LifetimeTarget})
+
+	// Optional cross-process disk cache (MCT_SWEEP_CACHE).
+	if dto := loadSweepFromDisk(key, space.Len()); dto != nil {
+		s := &Sweep{
+			Benchmark: benchmark,
+			Space:     space,
+			Indices:   dto.Indices,
+			Baseline:  fromDTO(dto.Baseline),
+			Default:   fromDTO(dto.Default),
+		}
+		for _, m := range dto.Metrics {
+			s.Metrics = append(s.Metrics, fromDTO(m))
+		}
+		sweepMu.Lock()
+		sweepCache[key] = s
+		sweepMu.Unlock()
+		return s, nil
+	}
+
+	simOpt := opt.Sim
+	simOpt.Seed = opt.Seed
+	prep, err := sim.Prepare(benchmark, 0, opt.Accesses, simOpt)
+	if err != nil {
+		return nil, err
+	}
+
+	stride := opt.Stride
+	if stride < 1 {
+		stride = 1
+	}
+	s := &Sweep{Benchmark: benchmark, Space: space}
+	for i := 0; i < space.Len(); i += stride {
+		m, err := prep.Evaluate(space.At(i))
+		if err != nil {
+			return nil, fmt.Errorf("experiments: sweep %s config %d: %w", benchmark, i, err)
+		}
+		s.Indices = append(s.Indices, i)
+		s.Metrics = append(s.Metrics, m)
+		if opt.Progress != nil && len(s.Indices)%500 == 0 {
+			progress(opt.Progress, "  sweep %s: %d/%d configs", benchmark, len(s.Indices), (space.Len()+stride-1)/stride)
+		}
+	}
+	if s.Baseline, err = prep.Evaluate(baselineAt(opt.LifetimeTarget)); err != nil {
+		return nil, err
+	}
+	if s.Default, err = prep.Evaluate(config.Default()); err != nil {
+		return nil, err
+	}
+
+	sweepMu.Lock()
+	sweepCache[key] = s
+	sweepMu.Unlock()
+	storeSweepToDisk(key, s)
+	return s, nil
+}
+
+// baselineAt is the static policy with its wear-quota target set to the
+// objective's lifetime floor.
+func baselineAt(target float64) config.Config {
+	b := config.StaticBaseline()
+	if target > 0 {
+		b.WearQuotaTarget = target
+	}
+	return b
+}
+
+// ResetSweepCache clears the in-process sweep cache (tests).
+func ResetSweepCache() {
+	sweepMu.Lock()
+	sweepCache = map[sweepKey]*Sweep{}
+	sweepMu.Unlock()
+}
+
+// Vectors returns the 10-dim encodings of the evaluated configurations.
+func (s *Sweep) Vectors() [][]float64 {
+	X := make([][]float64, len(s.Indices))
+	for i, idx := range s.Indices {
+		X[i] = s.Space.At(idx).Vector()
+	}
+	return X
+}
+
+// Targets returns the per-configuration values of one metric, optionally
+// normalized to the baseline measurement.
+func (s *Sweep) Targets(m core.Metric, normalize bool) []float64 {
+	base := 1.0
+	if normalize {
+		switch m {
+		case core.MetricIPC:
+			base = s.Baseline.IPC
+		case core.MetricLifetime:
+			base = s.Baseline.LifetimeYears
+		case core.MetricEnergy:
+			base = s.Baseline.EnergyJ
+		}
+	}
+	y := make([]float64, len(s.Metrics))
+	for i, mt := range s.Metrics {
+		switch m {
+		case core.MetricIPC:
+			y[i] = mt.IPC / base
+		case core.MetricLifetime:
+			y[i] = mt.LifetimeYears / base
+		case core.MetricEnergy:
+			y[i] = mt.EnergyJ / base
+		}
+	}
+	return y
+}
+
+// TradeoffVectors returns the measured [IPC, lifetime, energy] rows.
+func (s *Sweep) TradeoffVectors() [][3]float64 {
+	out := make([][3]float64, len(s.Metrics))
+	for i, mt := range s.Metrics {
+		out[i] = mt.Vector()
+	}
+	return out
+}
+
+// Ideal applies an objective to the measured data and returns the winning
+// position (index into s.Indices/Metrics) — the brute-force "ideal policy".
+func (s *Sweep) Ideal(obj core.Objective) (pos int, ok bool) {
+	return core.SelectOptimal(s.TradeoffVectors(), obj)
+}

@@ -1,0 +1,51 @@
+package ml
+
+import "fmt"
+
+// ExpandQuadratic maps a d-dimensional vector to its quadratic feature
+// expansion: d linear terms, d square terms, and d(d-1)/2 cross terms — for
+// d=10 the 65-dimensional space of §4.3.1.
+func ExpandQuadratic(x []float64) []float64 {
+	d := len(x)
+	out := make([]float64, 0, QuadraticLen(d))
+	out = append(out, x...)
+	for i := 0; i < d; i++ {
+		out = append(out, x[i]*x[i])
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out = append(out, x[i]*x[j])
+		}
+	}
+	return out
+}
+
+// QuadraticLen returns the expanded dimensionality for d input features:
+// 2d + d(d-1)/2.
+func QuadraticLen(d int) int { return 2*d + d*(d-1)/2 }
+
+// ExpandQuadraticAll expands every row.
+func ExpandQuadraticAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = ExpandQuadratic(row)
+	}
+	return out
+}
+
+// QuadraticNames returns human-readable names for the expanded features
+// given base feature names: "f", "f^2" and "f*g", in expansion order.
+func QuadraticNames(base []string) []string {
+	d := len(base)
+	out := make([]string, 0, QuadraticLen(d))
+	out = append(out, base...)
+	for i := 0; i < d; i++ {
+		out = append(out, fmt.Sprintf("%s^2", base[i]))
+	}
+	for i := 0; i < d; i++ {
+		for j := i + 1; j < d; j++ {
+			out = append(out, fmt.Sprintf("%s*%s", base[i], base[j]))
+		}
+	}
+	return out
+}

@@ -1,0 +1,114 @@
+package ml
+
+import "math/rand"
+
+// GBoostOptions configures the gradient-boosting ensemble.
+type GBoostOptions struct {
+	Trees     int     // number of boosting rounds
+	Depth     int     // max tree depth
+	Shrinkage float64 // learning rate
+	Subsample float64 // stochastic row subsampling fraction (Friedman 2002)
+	MinLeaf   int
+	Seed      int64
+}
+
+// DefaultGBoostOptions returns the configuration used by MCT's gradient
+// boosting predictor.
+func DefaultGBoostOptions() GBoostOptions {
+	return GBoostOptions{Trees: 150, Depth: 3, Shrinkage: 0.1, Subsample: 0.8, MinLeaf: 2, Seed: 7}
+}
+
+// GBoost is stochastic gradient boosting with least-squares loss over
+// regression trees (§4.3: "a state-of-art boosting algorithm for learning
+// regression models"). For squared loss, each round fits a tree to the
+// current residuals.
+type GBoost struct {
+	opt    GBoostOptions
+	trees  []*regTree
+	bias   float64
+	fitted bool
+}
+
+// NewGBoost returns a gradient-boosting predictor.
+func NewGBoost(opt GBoostOptions) *GBoost {
+	if opt.Trees <= 0 {
+		opt.Trees = 100
+	}
+	if opt.Depth <= 0 {
+		opt.Depth = 3
+	}
+	if opt.Shrinkage <= 0 || opt.Shrinkage > 1 {
+		opt.Shrinkage = 0.1
+	}
+	if opt.Subsample <= 0 || opt.Subsample > 1 {
+		opt.Subsample = 1
+	}
+	if opt.MinLeaf <= 0 {
+		opt.MinLeaf = 1
+	}
+	return &GBoost{opt: opt}
+}
+
+// Name implements Predictor.
+func (g *GBoost) Name() string { return NameGBoost }
+
+// Fit implements Predictor.
+func (g *GBoost) Fit(X [][]float64, y []float64) error {
+	if err := checkData(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	rng := rand.New(rand.NewSource(g.opt.Seed))
+
+	var bias float64
+	for _, v := range y {
+		bias += v
+	}
+	bias /= float64(n)
+
+	resid := make([]float64, n)
+	for i, v := range y {
+		resid[i] = v - bias
+	}
+
+	topt := treeOptions{maxDepth: g.opt.Depth, minLeaf: g.opt.MinLeaf}
+	trees := make([]*regTree, 0, g.opt.Trees)
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+
+	sampleSize := int(g.opt.Subsample * float64(n))
+	if sampleSize < 2 {
+		sampleSize = n
+	}
+
+	for round := 0; round < g.opt.Trees; round++ {
+		idx := all
+		if sampleSize < n {
+			perm := rng.Perm(n)
+			idx = perm[:sampleSize]
+		}
+		t := fitTree(X, resid, idx, topt, 0)
+		trees = append(trees, t)
+		for i := 0; i < n; i++ {
+			resid[i] -= g.opt.Shrinkage * t.predict(X[i])
+		}
+	}
+	g.trees = trees
+	g.bias = bias
+	g.fitted = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (g *GBoost) Predict(x []float64) float64 {
+	if !g.fitted {
+		return 0
+	}
+	s := g.bias
+	for _, t := range g.trees {
+		s += g.opt.Shrinkage * t.predict(x)
+	}
+	return s
+}

@@ -1,0 +1,234 @@
+package ml
+
+import (
+	"fmt"
+
+	"mct/internal/mat"
+)
+
+// HBayes is a hierarchical Bayesian multi-task linear model in the spirit
+// of LEO (§4.3, "Hierarchical Bayesian models"): per-application weight
+// vectors w_t share a Gaussian prior N(μ, Σ) learned from offline
+// applications by EM. The online Fit computes the posterior weights for the
+// current application under that prior, so a handful of samples suffices
+// when the new application resembles the training set.
+//
+// As in the paper, it is by far the most expensive predictor and requires
+// offline data — MCT does not deploy it, but the model-comparison
+// experiment (Table 7 / Figure 2) evaluates it.
+type HBayes struct {
+	emIters int
+
+	d      int // feature width incl. bias
+	mu     []float64
+	sigma  *mat.Dense // prior covariance
+	noise  float64    // observation variance σ²
+	w      []float64  // posterior mean for the current task
+	fitted bool
+}
+
+// NewHierarchicalBayes learns the shared prior from offline per-application
+// datasets (raw feature rows; a bias column is appended internally).
+func NewHierarchicalBayes(offline []Dataset, emIters int) (*HBayes, error) {
+	if len(offline) == 0 {
+		return nil, fmt.Errorf("ml: hierarchical Bayes needs offline data")
+	}
+	if emIters <= 0 {
+		emIters = 20
+	}
+	h := &HBayes{emIters: emIters}
+	if err := h.learnPrior(offline); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Name implements Predictor.
+func (h *HBayes) Name() string { return NameHBayes }
+
+func withBias(x []float64) []float64 {
+	out := make([]float64, len(x)+1)
+	copy(out, x)
+	out[len(x)] = 1
+	return out
+}
+
+func designOf(X [][]float64) *mat.Dense {
+	n := len(X)
+	d := len(X[0]) + 1
+	flat := make([]float64, 0, n*d)
+	for _, row := range X {
+		flat = append(flat, withBias(row)...)
+	}
+	return mat.NewDenseData(n, d, flat)
+}
+
+// learnPrior runs EM over the offline tasks.
+func (h *HBayes) learnPrior(offline []Dataset) error {
+	d := len(offline[0].X[0]) + 1
+	h.d = d
+	T := len(offline)
+
+	designs := make([]*mat.Dense, T)
+	var totalN int
+	for t, ds := range offline {
+		if err := checkData(ds.X, ds.Y); err != nil {
+			return err
+		}
+		if len(ds.X[0])+1 != d {
+			return fmt.Errorf("%w: task %d width mismatch", ErrBadData, t)
+		}
+		designs[t] = designOf(ds.X)
+		totalN += len(ds.Y)
+	}
+
+	// Initialize: μ=0, Σ=I, σ²=var(y).
+	mu := make([]float64, d)
+	sigma := identity(d)
+	noise := 1.0
+
+	for iter := 0; iter < h.emIters; iter++ {
+		sigmaInv, err := mat.Inverse(sigma)
+		if err != nil {
+			// Re-condition a collapsing covariance.
+			for i := 0; i < d; i++ {
+				sigma.Set(i, i, sigma.At(i, i)+1e-6)
+			}
+			sigmaInv, err = mat.Inverse(sigma)
+			if err != nil {
+				return err
+			}
+		}
+
+		means := make([][]float64, T)
+		covs := make([]*mat.Dense, T)
+		var rss float64 // residual + trace terms for σ² update
+
+		for t, ds := range offline {
+			m, v, err := posterior(designs[t], ds.Y, mu, sigmaInv, noise)
+			if err != nil {
+				return err
+			}
+			means[t] = m
+			covs[t] = v
+			pred, err := mat.MulVec(designs[t], m)
+			if err != nil {
+				return err
+			}
+			for i, p := range pred {
+				r := ds.Y[i] - p
+				rss += r * r
+			}
+			// tr(X V Xᵀ) = Σ_i x_iᵀ V x_i
+			n, _ := designs[t].Dims()
+			for i := 0; i < n; i++ {
+				row := designs[t].Row(i)
+				vx, _ := mat.MulVec(v, row)
+				rss += mat.Dot(row, vx)
+			}
+		}
+
+		// M-step.
+		newMu := make([]float64, d)
+		for _, m := range means {
+			mat.AddScaled(newMu, 1/float64(T), m)
+		}
+		newSigma := mat.NewDense(d, d)
+		for t := range means {
+			for i := 0; i < d; i++ {
+				di := means[t][i] - newMu[i]
+				for j := 0; j < d; j++ {
+					dj := means[t][j] - newMu[j]
+					newSigma.Set(i, j, newSigma.At(i, j)+(covs[t].At(i, j)+di*dj)/float64(T))
+				}
+			}
+		}
+		// Regularize the covariance diagonal for stability.
+		for i := 0; i < d; i++ {
+			newSigma.Set(i, i, newSigma.At(i, i)+1e-6)
+		}
+		mu = newMu
+		sigma = newSigma
+		noise = rss / float64(totalN)
+		if noise < 1e-9 {
+			noise = 1e-9
+		}
+	}
+
+	h.mu = mu
+	h.sigma = sigma
+	h.noise = noise
+	return nil
+}
+
+// posterior returns the Gaussian posterior (mean, covariance) of task
+// weights given design X, targets y, prior mean mu / inverse covariance,
+// and noise variance.
+func posterior(X *mat.Dense, y []float64, mu []float64, sigmaInv *mat.Dense, noise float64) ([]float64, *mat.Dense, error) {
+	_, d := X.Dims()
+	prec := mat.AtA(X)
+	for i := 0; i < d; i++ {
+		for j := 0; j < d; j++ {
+			prec.Set(i, j, prec.At(i, j)/noise+sigmaInv.At(i, j))
+		}
+	}
+	v, err := mat.Inverse(prec)
+	if err != nil {
+		return nil, nil, err
+	}
+	xty, err := mat.AtVec(X, y)
+	if err != nil {
+		return nil, nil, err
+	}
+	simu, err := mat.MulVec(sigmaInv, mu)
+	if err != nil {
+		return nil, nil, err
+	}
+	rhs := make([]float64, d)
+	for i := range rhs {
+		rhs[i] = xty[i]/noise + simu[i]
+	}
+	m, err := mat.MulVec(v, rhs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, v, nil
+}
+
+func identity(d int) *mat.Dense {
+	m := mat.NewDense(d, d)
+	for i := 0; i < d; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Fit implements Predictor: posterior inference for the current
+// application's weights under the learned prior.
+func (h *HBayes) Fit(X [][]float64, y []float64) error {
+	if err := checkData(X, y); err != nil {
+		return err
+	}
+	if len(X[0])+1 != h.d {
+		return fmt.Errorf("%w: width %d, prior expects %d", ErrBadData, len(X[0]), h.d-1)
+	}
+	sigmaInv, err := mat.Inverse(h.sigma)
+	if err != nil {
+		return err
+	}
+	m, _, err := posterior(designOf(X), y, h.mu, sigmaInv, h.noise)
+	if err != nil {
+		return err
+	}
+	h.w = m
+	h.fitted = true
+	return nil
+}
+
+// Predict implements Predictor.
+func (h *HBayes) Predict(x []float64) float64 {
+	if !h.fitted {
+		return 0
+	}
+	return mat.Dot(h.w, withBias(x))
+}

@@ -1,0 +1,69 @@
+package ml
+
+import "math"
+
+// Dataset pairs feature rows with targets (one task/application).
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Offline is the baseline predictor of Table 7: it "averages data from
+// training applications to predict the current application". It needs
+// offline data for every configuration it will be asked about and ignores
+// online samples entirely (zero runtime cost, low accuracy).
+type Offline struct {
+	table map[string]float64
+}
+
+// NewOffline builds the per-configuration cross-application mean table from
+// offline datasets. Rows with identical feature vectors (the same
+// configuration measured on different applications) are averaged.
+func NewOffline(offline []Dataset) *Offline {
+	sum := map[string]float64{}
+	cnt := map[string]int{}
+	for _, ds := range offline {
+		for i, row := range ds.X {
+			k := vecKey(row)
+			sum[k] += ds.Y[i]
+			cnt[k]++
+		}
+	}
+	table := make(map[string]float64, len(sum))
+	for k, s := range sum {
+		table[k] = s / float64(cnt[k])
+	}
+	return &Offline{table: table}
+}
+
+// Name implements Predictor.
+func (o *Offline) Name() string { return NameOffline }
+
+// Fit implements Predictor; the offline predictor does not learn online.
+func (o *Offline) Fit(X [][]float64, y []float64) error { return nil }
+
+// Predict implements Predictor by table lookup; unknown configurations
+// return the global mean.
+func (o *Offline) Predict(x []float64) float64 {
+	if v, ok := o.table[vecKey(x)]; ok {
+		return v
+	}
+	var s float64
+	for _, v := range o.table {
+		s += v
+	}
+	if len(o.table) == 0 {
+		return 0
+	}
+	return s / float64(len(o.table))
+}
+
+// vecKey quantizes a feature vector into a comparable key.
+func vecKey(x []float64) string {
+	b := make([]byte, 0, len(x)*4)
+	for _, v := range x {
+		q := int32(math.Round(v * 100))
+		b = append(b, byte(q), byte(q>>8), byte(q>>16), byte(q>>24))
+	}
+	return string(b)
+}

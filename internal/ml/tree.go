@@ -1,0 +1,123 @@
+package ml
+
+import "sort"
+
+// regTree is a depth-limited least-squares regression tree — the weak
+// learner of the gradient-boosting ensemble.
+type regTree struct {
+	// Internal node: feature/threshold with left (<=) and right (>)
+	// children. Leaf: value with left == nil.
+	feature   int
+	threshold float64
+	left      *regTree
+	right     *regTree
+	value     float64
+}
+
+type treeOptions struct {
+	maxDepth    int
+	minLeaf     int
+	minGain     float64
+	featureSubs []int // candidate features (nil = all)
+}
+
+// fitTree builds a regression tree on rows idx of X/y.
+func fitTree(X [][]float64, y []float64, idx []int, opt treeOptions, depth int) *regTree {
+	mean := meanAt(y, idx)
+	if depth >= opt.maxDepth || len(idx) < 2*opt.minLeaf {
+		return &regTree{value: mean}
+	}
+	bestGain := opt.minGain
+	bestFeat, bestThr := -1, 0.0
+
+	features := opt.featureSubs
+	if features == nil {
+		features = make([]int, len(X[0]))
+		for j := range features {
+			features[j] = j
+		}
+	}
+
+	// Pre-compute total sums for gain evaluation.
+	var totSum, totSq float64
+	for _, i := range idx {
+		totSum += y[i]
+		totSq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	totSSE := totSq - totSum*totSum/n
+
+	order := make([]int, len(idx))
+	for _, j := range features {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][j] < X[order[b]][j] })
+
+		var leftSum float64
+		for k := 0; k < len(order)-1; k++ {
+			i := order[k]
+			leftSum += y[i]
+			// Can't split between equal feature values.
+			if X[order[k]][j] == X[order[k+1]][j] {
+				continue
+			}
+			nl := float64(k + 1)
+			nr := n - nl
+			if int(nl) < opt.minLeaf || int(nr) < opt.minLeaf {
+				continue
+			}
+			rightSum := totSum - leftSum
+			// SSE reduction = total SSE - (left SSE + right SSE); with
+			// fixed totSq this maximizes leftSum²/nl + rightSum²/nr.
+			gain := leftSum*leftSum/nl + rightSum*rightSum/nr - totSum*totSum/n
+			if gain > bestGain {
+				bestGain = gain
+				bestFeat = j
+				bestThr = (X[order[k]][j] + X[order[k+1]][j]) / 2
+			}
+		}
+	}
+	_ = totSSE
+
+	if bestFeat < 0 {
+		return &regTree{value: mean}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][bestFeat] <= bestThr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &regTree{value: mean}
+	}
+	return &regTree{
+		feature:   bestFeat,
+		threshold: bestThr,
+		left:      fitTree(X, y, li, opt, depth+1),
+		right:     fitTree(X, y, ri, opt, depth+1),
+	}
+}
+
+func (t *regTree) predict(x []float64) float64 {
+	for t.left != nil {
+		if x[t.feature] <= t.threshold {
+			t = t.left
+		} else {
+			t = t.right
+		}
+	}
+	return t.value
+}
+
+func meanAt(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	var s float64
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}

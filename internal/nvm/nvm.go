@@ -1,0 +1,678 @@
+// Package nvm implements the resistive-memory main-memory system of the
+// paper (Table 9): a 16-bank ReRAM controller with prioritized read / write
+// / eager-write queues, write-drain thresholds, a shared data bus, the
+// write-latency-vs-endurance trade-off (tWP = 60·ratio cycles, endurance =
+// 8·10⁶·ratio² writes), write cancellation, bank-aware and eager mellow
+// writes, the wear-quota lifetime guarantee, and bank-level wear accounting
+// under a Start-Gap-style wear-leveling assumption (95% efficiency).
+//
+// The controller is trace-driven: the CPU/cache layer calls Read, Write and
+// EagerWrite with a current time in memory-controller cycles (400 MHz), and
+// the controller advances bank state lazily. Reads are serviced immediately
+// with highest priority (the simulated core blocks on reads, so at most one
+// demand read is outstanding per core); queued writes are issued
+// opportunistically per bank and drained under backpressure.
+package nvm
+
+import (
+	"fmt"
+	"math"
+
+	"mct/internal/config"
+)
+
+// SecondsPerYear converts lifetimes (Julian year, as in endurance
+// literature).
+const SecondsPerYear = 31_557_600.0
+
+// cancelAbortCycles is the bank turnaround after a cancelled write before
+// the cancelling read can start.
+const cancelAbortCycles = 4
+
+// Params holds the memory-system parameters (defaults follow Table 9).
+type Params struct {
+	Banks        int
+	LinesPerBank uint64 // 64-byte lines per bank
+
+	MemCyclesPerSec float64 // controller clock (400 MHz)
+
+	TRCD   uint64 // row-to-column delay, cycles (48 = 120 ns)
+	TCAS   uint64 // column access, cycles (1 = 2.5 ns)
+	TBurst uint64 // data-bus occupancy per 64B transfer, cycles
+	TWP    uint64 // write pulse at ratio 1.0, cycles (60 = 150 ns)
+
+	// RowBytes is the row-buffer size (Table 9: 1 KB, open-page policy).
+	// Reads to the open row skip tRCD; writes are write-through and bypass
+	// the row buffer. 0 disables row buffers (every read pays tRCD).
+	RowBytes uint64
+
+	EnduranceBase float64 // writes per line at ratio 1.0 (8e6)
+	WearLevelEff  float64 // wear-leveling efficiency (0.95)
+	// WearCalibration scales the endurance budget to place default-config
+	// lifetimes of the synthetic workloads in the paper's 1–16-year band
+	// (our traces are far shorter and denser than 2B-instruction SPEC
+	// runs). It multiplies EnduranceBase everywhere, so relative behaviour
+	// between configurations is unaffected.
+	WearCalibration float64
+
+	WriteQueueCap int // demand write queue capacity (64)
+	EagerQueueCap int // eager mellow write queue capacity (32)
+	DrainLow      int // write drain low threshold (32)
+	DrainHigh     int // write drain high threshold (64)
+
+	// MaxCancellations bounds how often a single write can be cancelled
+	// before it becomes non-cancellable (livelock guard).
+	MaxCancellations int
+
+	// CancelProgressLimit: a write can only be cancelled while its pulse
+	// has completed less than this fraction (Qureshi et al. cancel only
+	// writes far from completion; a nearly-done write is allowed to
+	// finish).
+	CancelProgressLimit float64
+
+	// MaxConcurrentWrites bounds the number of simultaneous write pulses
+	// across all banks — the write-power budget of resistive memories
+	// (write currents are large; cf. Hay et al., "Preventing PCM banks
+	// from seizing too much power", cited by the paper). This is what
+	// makes slow writes consume real system capacity: long pulses hold a
+	// power token longer, so aggressive mellow writes can saturate the
+	// write bandwidth of heavy writers.
+	MaxConcurrentWrites int
+
+	// WearQuotaSliceCycles is the wear-quota time-slice length.
+	WearQuotaSliceCycles uint64
+}
+
+// DefaultParams returns the Table 9 configuration (4 GB, 16 banks).
+func DefaultParams() Params {
+	return Params{
+		Banks:                16,
+		LinesPerBank:         4 << 30 / 16 / 64, // 4 GB / 16 banks / 64 B lines
+		MemCyclesPerSec:      400e6,
+		TRCD:                 48,
+		TCAS:                 1,
+		TBurst:               8,
+		TWP:                  60,
+		RowBytes:             1024,
+		EnduranceBase:        8e6,
+		WearLevelEff:         0.95,
+		WearCalibration:      0.45,
+		WriteQueueCap:        64,
+		EagerQueueCap:        32,
+		DrainLow:             32,
+		DrainHigh:            64,
+		MaxCancellations:     4,
+		CancelProgressLimit:  0.5,
+		MaxConcurrentWrites:  4,
+		WearQuotaSliceCycles: 100_000,
+	}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.Banks <= 0 || p.LinesPerBank == 0 {
+		return fmt.Errorf("nvm: invalid geometry: %d banks, %d lines/bank", p.Banks, p.LinesPerBank)
+	}
+	if p.MemCyclesPerSec <= 0 {
+		return fmt.Errorf("nvm: invalid clock %g", p.MemCyclesPerSec)
+	}
+	if p.EnduranceBase <= 0 || p.WearLevelEff <= 0 || p.WearLevelEff > 1 || p.WearCalibration <= 0 {
+		return fmt.Errorf("nvm: invalid endurance model (base %g, eff %g, cal %g)", p.EnduranceBase, p.WearLevelEff, p.WearCalibration)
+	}
+	if p.WriteQueueCap <= 0 || p.EagerQueueCap < 0 || p.DrainLow < 0 || p.DrainHigh < p.DrainLow {
+		return fmt.Errorf("nvm: invalid queue parameters")
+	}
+	if p.CancelProgressLimit < 0 || p.CancelProgressLimit > 1 {
+		return fmt.Errorf("nvm: cancel progress limit %g outside [0,1]", p.CancelProgressLimit)
+	}
+	if p.MaxConcurrentWrites <= 0 {
+		return fmt.Errorf("nvm: MaxConcurrentWrites must be positive")
+	}
+	if p.WearQuotaSliceCycles == 0 {
+		return fmt.Errorf("nvm: zero wear-quota slice")
+	}
+	return nil
+}
+
+// Stats aggregates controller event counters. Wear is measured in
+// "line-lifetimes": a write at latency ratio r consumes
+// 1/(EnduranceBase·Calibration·r²) of one line.
+type Stats struct {
+	Reads          uint64
+	ReadLatencySum uint64 // cycles, enqueue to data delivered
+
+	DemandWrites    uint64 // demand writebacks completed or in flight
+	EagerWrites     uint64 // eager mellow writes issued
+	FastWrites      uint64 // issued at FastLatency
+	SlowWrites      uint64 // issued at SlowLatency (incl. eager)
+	ForcedWrites    uint64 // issued at 4× under an exhausted wear quota
+	CancelledWrites uint64 // write attempts aborted by a read
+
+	WritesByRatio map[float64]uint64
+
+	WearByBank []float64
+	TotalWear  float64
+
+	ReadCellCycles   uint64 // bank occupancy by reads
+	WritePulseCycles uint64 // bank occupancy by write pulses (incl. cancelled portion's full pulse charge)
+
+	RowHits   uint64 // open-page read hits (tRCD skipped)
+	RowMisses uint64 // row activations
+
+	QueueFullStalls uint64 // demand writes that hit a full write queue
+	WriteQueuePeak  int
+	ForcedSlices    uint64 // wear-quota slices in forced (slow) mode
+	TotalSlices     uint64
+}
+
+// MaxBankWear returns the wear of the most-worn bank.
+func (s *Stats) MaxBankWear() float64 {
+	var m float64
+	for _, w := range s.WearByBank {
+		if w > m {
+			m = w
+		}
+	}
+	return m
+}
+
+type writeReq struct {
+	addr    uint64
+	enq     uint64
+	cancels int
+	eager   bool
+}
+
+type inflight struct {
+	req         writeReq
+	pulseStart  uint64
+	done        uint64
+	ratio       float64
+	cancellable bool
+	token       int // write-power token held for the pulse duration
+}
+
+type bankState struct {
+	freeAt uint64
+	op     *inflight // write occupying the bank until freeAt, if any
+	writes []writeReq
+	eager  []writeReq
+	// openRow is the row held in the row buffer (open-page policy);
+	// rowValid is false until the first activation.
+	openRow  uint64
+	rowValid bool
+}
+
+// Controller is the NVM memory controller. It is not safe for concurrent
+// use.
+type Controller struct {
+	p   Params
+	cfg config.Config
+
+	banks     []bankState
+	busFreeAt uint64
+	// tokens[i] is the time write-power token i frees up.
+	tokens []uint64
+	now    uint64
+
+	writeQLen int
+	eagerQLen int
+	// drainMode: the write queue crossed DrainHigh; writes get priority
+	// (no cancellation) until occupancy falls to DrainLow.
+	drainMode bool
+
+	// wear quota state
+	forced    bool
+	nextSlice uint64
+
+	st Stats
+}
+
+// New returns a controller for cfg with parameters p.
+func New(cfg config.Config, p Params) (*Controller, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		p:      p,
+		cfg:    cfg.Canonical(),
+		banks:  make([]bankState, p.Banks),
+		tokens: make([]uint64, p.MaxConcurrentWrites),
+	}
+	c.nextSlice = p.WearQuotaSliceCycles
+	c.st.WearByBank = make([]float64, p.Banks)
+	c.st.WritesByRatio = make(map[float64]uint64)
+	return c, nil
+}
+
+// Config returns the controller's active configuration.
+func (c *Controller) Config() config.Config { return c.cfg }
+
+// SetConfig switches the controller to a new configuration at its current
+// time. Queued requests, wear state and the wear-quota slice schedule are
+// preserved — this is MCT's online reconfiguration mechanism (no hardware
+// state is lost when the policy changes).
+func (c *Controller) SetConfig(cfg config.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	c.cfg = cfg.Canonical()
+	if !c.cfg.WearQuota {
+		c.forced = false
+	}
+	return nil
+}
+
+// EagerSpace reports whether the eager queue can accept another entry.
+// Callers must check this before harvesting a victim from the cache, since
+// harvesting marks the line clean.
+func (c *Controller) EagerSpace() bool { return c.eagerQLen < c.p.EagerQueueCap }
+
+// Params returns the controller's memory parameters.
+func (c *Controller) Params() Params { return c.p }
+
+// Stats returns a snapshot of the counters.
+func (c *Controller) Stats() Stats {
+	s := c.st
+	s.WearByBank = append([]float64(nil), c.st.WearByBank...)
+	byRatio := make(map[float64]uint64, len(c.st.WritesByRatio))
+	for k, v := range c.st.WritesByRatio {
+		byRatio[k] = v
+	}
+	s.WritesByRatio = byRatio
+	return s
+}
+
+// Now returns the controller's high-water-mark time in memory cycles.
+func (c *Controller) Now() uint64 { return c.now }
+
+// WriteQueueLen returns the current demand write queue occupancy.
+func (c *Controller) WriteQueueLen() int { return c.writeQLen }
+
+// EagerQueueLen returns the current eager queue occupancy.
+func (c *Controller) EagerQueueLen() int { return c.eagerQLen }
+
+// rowOf returns the global row index of an address (rows are the
+// interleaving unit: the 16 lines of one 1 KB row live in one bank, so
+// open-page locality works).
+func (c *Controller) rowOf(addr uint64) uint64 {
+	rb := c.p.RowBytes
+	if rb == 0 {
+		rb = 1024
+	}
+	return addr / rb
+}
+
+// bankOf maps an address to a bank with an XOR-folded hash of its row
+// index. Folding higher bits in decorrelates bank index from cache set
+// index, so a victim writeback and its fill do not systematically collide
+// on one bank — the standard bank-XOR interleaving of memory controllers —
+// while consecutive rows still spread round-robin across banks.
+func (c *Controller) bankOf(addr uint64) int {
+	row := c.rowOf(addr)
+	h := row ^ (row >> 4) ^ (row >> 8) ^ (row >> 12) ^ (row >> 16)
+	return int(h % uint64(c.p.Banks))
+}
+
+// wearPerWrite returns the line-lifetime fraction consumed by one write at
+// latency ratio r (endurance scales quadratically with the ratio, Table 9).
+func (c *Controller) wearPerWrite(ratio float64) float64 {
+	return 1.0 / (c.p.EnduranceBase * c.p.WearCalibration * ratio * ratio)
+}
+
+func (c *Controller) twp(ratio float64) uint64 {
+	return uint64(math.Round(float64(c.p.TWP) * ratio))
+}
+
+// bankWearBudget is the total wear a bank tolerates before the memory is
+// considered worn out, under the wear-leveling efficiency assumption.
+func (c *Controller) bankWearBudget() float64 {
+	return float64(c.p.LinesPerBank) * c.p.WearLevelEff
+}
+
+// LifetimeYears projects the memory lifetime assuming the observed wear
+// rate continues ("the system will cyclically execute the current workload
+// until the main memory wears out", §6.1). elapsedCycles is the simulated
+// duration. Lifetimes are capped at 1000 years to keep zero-write runs
+// finite.
+func (c *Controller) LifetimeYears(elapsedCycles uint64) float64 {
+	maxWear := c.st.MaxBankWear()
+	if maxWear <= 0 || elapsedCycles == 0 {
+		return 1000
+	}
+	seconds := float64(elapsedCycles) / c.p.MemCyclesPerSec
+	years := seconds * c.bankWearBudget() / maxWear / SecondsPerYear
+	if years > 1000 {
+		return 1000
+	}
+	return years
+}
+
+// Advance processes queued work on all banks up to time t, honouring
+// wear-quota slice boundaries.
+func (c *Controller) Advance(t uint64) {
+	if t <= c.now {
+		return
+	}
+	if c.cfg.WearQuota {
+		for c.nextSlice <= t {
+			boundary := c.nextSlice
+			c.advanceBanks(boundary)
+			c.now = boundary
+			c.updateWearQuota(boundary)
+			c.nextSlice += c.p.WearQuotaSliceCycles
+		}
+	}
+	c.advanceBanks(t)
+	c.now = t
+}
+
+// updateWearQuota re-evaluates the forced-slow flag at a slice boundary:
+// forced when the most-worn bank has consumed more than its pro-rata share
+// of the budget implied by the target lifetime.
+func (c *Controller) updateWearQuota(atCycles uint64) {
+	c.st.TotalSlices++
+	targetCycles := c.cfg.WearQuotaTarget * SecondsPerYear * c.p.MemCyclesPerSec
+	allowance := float64(atCycles) / targetCycles * c.bankWearBudget()
+	c.forced = c.st.MaxBankWear() >= allowance
+	if c.forced {
+		c.st.ForcedSlices++
+	}
+}
+
+func (c *Controller) advanceBanks(t uint64) {
+	for b := range c.banks {
+		c.advanceBank(b, t)
+	}
+}
+
+// eagerAllowed reports whether the system is calm enough to issue eager
+// (lowest-priority) writes: no demand writes waiting anywhere — eager
+// pulses hold write-power tokens, so issuing them under demand-write
+// pressure would invert priorities.
+func (c *Controller) eagerAllowed() bool {
+	return c.writeQLen == 0
+}
+
+func (c *Controller) advanceBank(b int, t uint64) {
+	bank := &c.banks[b]
+	for {
+		if bank.freeAt > t {
+			return
+		}
+		bank.op = nil // any prior op has completed by freeAt ≤ t
+
+		var req writeReq
+		var isEager bool
+		switch {
+		case len(bank.writes) > 0 && bank.writes[0].enq <= t:
+			req = bank.writes[0]
+			bank.writes = bank.writes[1:]
+			c.writeQLen--
+			c.updateDrainMode()
+		case len(bank.eager) > 0 && bank.eager[0].enq <= t && c.eagerAllowed():
+			req = bank.eager[0]
+			bank.eager = bank.eager[1:]
+			c.eagerQLen--
+			isEager = true
+		default:
+			return
+		}
+		c.issueWrite(b, req, isEager)
+	}
+}
+
+// issueWrite starts a write on bank b. Timing: the data bus is occupied for
+// TBurst, then the write pulse holds the bank for TWP·ratio.
+func (c *Controller) issueWrite(b int, req writeReq, isEager bool) {
+	bank := &c.banks[b]
+	ratio, cancellable := c.writeClass(b, req, isEager)
+
+	issueAt := max64(bank.freeAt, req.enq)
+	busStart := max64(issueAt, c.busFreeAt)
+	c.busFreeAt = busStart + c.p.TBurst
+	// The write pulse needs a free power token; long (slow) pulses hold
+	// tokens longer, so mellow writes consume more of the write-power
+	// budget.
+	tok := 0
+	for i, free := range c.tokens {
+		if free < c.tokens[tok] {
+			tok = i
+		}
+	}
+	pulseStart := max64(busStart+c.p.TBurst, c.tokens[tok])
+	done := pulseStart + c.twp(ratio)
+	c.tokens[tok] = done
+	bank.freeAt = done
+	bank.op = &inflight{req: req, pulseStart: pulseStart, done: done, ratio: ratio, cancellable: cancellable, token: tok}
+
+	// Accounting. Wear and energy are charged per attempt: a cancelled
+	// attempt costs a full write of wear (the "extra writes" lifetime
+	// penalty of cancellation, §2) and its rewrite is charged again on
+	// reissue.
+	c.st.WearByBank[b] += c.wearPerWrite(ratio)
+	c.st.TotalWear += c.wearPerWrite(ratio)
+	c.st.WritesByRatio[ratio]++
+	c.st.WritePulseCycles += c.twp(ratio)
+	if isEager {
+		c.st.EagerWrites++
+	} else {
+		c.st.DemandWrites++
+	}
+	switch {
+	case c.forced && c.cfg.WearQuota:
+		c.st.ForcedWrites++
+	case ratio == c.cfg.FastLatency && !isEager:
+		c.st.FastWrites++
+	default:
+		c.st.SlowWrites++
+	}
+}
+
+// writeClass decides the latency ratio and cancellability of a write about
+// to issue on bank b (the request has already been popped from its queue).
+func (c *Controller) writeClass(b int, req writeReq, isEager bool) (ratio float64, cancellable bool) {
+	if c.cfg.WearQuota && c.forced {
+		// Exhausted quota: "the whole coming time slice can only use the
+		// slowest writes and write cancellation is enforced" (§3.1).
+		return config.WearQuotaSlowRatio, req.cancels < c.p.MaxCancellations
+	}
+	if isEager {
+		return c.cfg.SlowLatency, c.cfg.SlowCancellation && req.cancels < c.p.MaxCancellations
+	}
+	if c.cfg.BankAware && len(c.banks[b].writes) < c.cfg.BankAwareThreshold {
+		// Bank not busy: issue slow.
+		return c.cfg.SlowLatency, c.cfg.SlowCancellation && req.cancels < c.p.MaxCancellations
+	}
+	return c.cfg.FastLatency, c.cfg.FastCancellation && req.cancels < c.p.MaxCancellations
+}
+
+// Read services a demand read at time now and returns the cycle at which
+// its data has been delivered over the bus. Reads have highest priority: an
+// in-flight cancellable write on the target bank is aborted and re-queued
+// at the head of that bank's write queue.
+func (c *Controller) Read(addr uint64, now uint64) uint64 {
+	c.Advance(now)
+	b := c.bankOf(addr)
+	bank := &c.banks[b]
+
+	if op := bank.op; op != nil && bank.freeAt > now && op.cancellable &&
+		!c.drainMode && c.pulseProgress(op, now) < c.p.CancelProgressLimit {
+		// Cancel the write in progress; it re-queues at the head. The read
+		// pays a small abort turnaround before the bank is usable.
+		c.st.CancelledWrites++
+		req := op.req
+		req.cancels++
+		req.enq = now
+		bank.writes = append([]writeReq{req}, bank.writes...)
+		c.writeQLen++
+		c.updateDrainMode()
+		if c.writeQLen > c.st.WriteQueuePeak {
+			c.st.WriteQueuePeak = c.writeQLen
+		}
+		bank.freeAt = now + cancelAbortCycles
+		// Release the power token held by the aborted pulse.
+		if op.done == c.tokens[op.token] {
+			c.tokens[op.token] = now
+		}
+		bank.op = nil
+	}
+
+	start := max64(now, bank.freeAt)
+	row := c.rowOf(addr)
+	cell := c.p.TRCD + c.p.TCAS
+	if c.p.RowBytes > 0 && bank.rowValid && bank.openRow == row {
+		// Open-page hit: the row is already in the row buffer.
+		cell = c.p.TCAS
+		c.st.RowHits++
+	} else {
+		bank.openRow = row
+		bank.rowValid = true
+		c.st.RowMisses++
+	}
+	cellDone := start + cell
+	bank.freeAt = cellDone
+	bank.op = nil
+	busStart := max64(cellDone, c.busFreeAt)
+	c.busFreeAt = busStart + c.p.TBurst
+	final := busStart + c.p.TBurst
+
+	c.st.Reads++
+	c.st.ReadLatencySum += final - now
+	c.st.ReadCellCycles += cell
+	return final
+}
+
+// Write enqueues a demand writeback at time now. If the write queue is
+// full, the controller drains until a slot frees (backpressure) and returns
+// the cycle at which the write was accepted; otherwise it returns now.
+func (c *Controller) Write(addr uint64, now uint64) uint64 {
+	c.Advance(now)
+	accepted := now
+	if c.writeQLen >= c.p.WriteQueueCap {
+		c.st.QueueFullStalls++
+		accepted = c.drainUntilSpace(now)
+	}
+	b := c.bankOf(addr)
+	c.banks[b].writes = append(c.banks[b].writes, writeReq{addr: addr, enq: accepted})
+	c.writeQLen++
+	c.updateDrainMode()
+	if c.writeQLen > c.st.WriteQueuePeak {
+		c.st.WriteQueuePeak = c.writeQLen
+	}
+	// Give the controller a chance to issue immediately (idle bank).
+	c.advanceBank(b, c.now)
+	return accepted
+}
+
+// drainUntilSpace advances simulated time until a queued write issues,
+// freeing a write-queue slot, and returns that time.
+func (c *Controller) drainUntilSpace(now uint64) uint64 {
+	for c.writeQLen >= c.p.WriteQueueCap {
+		next := uint64(math.MaxUint64)
+		for b := range c.banks {
+			bank := &c.banks[b]
+			if len(bank.writes) == 0 {
+				continue
+			}
+			t := max64(bank.freeAt, bank.writes[0].enq)
+			if t < next {
+				next = t
+			}
+		}
+		if next == math.MaxUint64 {
+			// No queued writes anywhere yet the queue count says full —
+			// impossible by construction; bail out defensively.
+			return now
+		}
+		if next <= c.now {
+			next = c.now + 1
+		}
+		c.Advance(next)
+		if next > now {
+			now = next
+		}
+	}
+	return now
+}
+
+// EagerWrite offers an eager mellow writeback at time now. It returns false
+// when the eager queue is full (the cache keeps the line dirty and may
+// offer it again later).
+func (c *Controller) EagerWrite(addr uint64, now uint64) bool {
+	c.Advance(now)
+	if c.eagerQLen >= c.p.EagerQueueCap {
+		return false
+	}
+	b := c.bankOf(addr)
+	c.banks[b].eager = append(c.banks[b].eager, writeReq{addr: addr, enq: now, eager: true})
+	c.eagerQLen++
+	c.advanceBank(b, c.now)
+	return true
+}
+
+// Drain advances time until all queued demand and eager writes have issued,
+// returning the final time. Used at end of simulation so queued work is
+// charged.
+func (c *Controller) Drain(now uint64) uint64 {
+	c.Advance(now)
+	for c.writeQLen > 0 || c.eagerQLen > 0 {
+		next := uint64(math.MaxUint64)
+		for b := range c.banks {
+			bank := &c.banks[b]
+			if len(bank.writes) > 0 {
+				t := max64(bank.freeAt, bank.writes[0].enq)
+				if t < next {
+					next = t
+				}
+			}
+			if len(bank.eager) > 0 && c.eagerAllowed() {
+				t := max64(bank.freeAt, bank.eager[0].enq)
+				if t < next {
+					next = t
+				}
+			}
+		}
+		if next == math.MaxUint64 {
+			break
+		}
+		if next <= c.now {
+			next = c.now + 1
+		}
+		c.Advance(next)
+		now = next
+	}
+	return now
+}
+
+// pulseProgress returns the completed fraction of an in-flight write's
+// pulse at time now (0 while the data is still on the bus).
+func (c *Controller) pulseProgress(op *inflight, now uint64) float64 {
+	if now <= op.pulseStart {
+		return 0
+	}
+	total := op.done - op.pulseStart
+	if total == 0 {
+		return 1
+	}
+	return float64(now-op.pulseStart) / float64(total)
+}
+
+// updateDrainMode re-evaluates drain mode against the watermarks.
+func (c *Controller) updateDrainMode() {
+	if c.writeQLen >= c.p.DrainHigh {
+		c.drainMode = true
+	} else if c.writeQLen <= c.p.DrainLow {
+		c.drainMode = false
+	}
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,123 @@
+package phase
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func opts() Options {
+	return Options{IntervalInsts: 1000, ShortWindows: 10, LongWindows: 100, Threshold: 15}
+}
+
+func TestValidate(t *testing.T) {
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Options{
+		{IntervalInsts: 0, ShortWindows: 10, LongWindows: 100, Threshold: 15},
+		{IntervalInsts: 1, ShortWindows: 1, LongWindows: 100, Threshold: 15},
+		{IntervalInsts: 1, ShortWindows: 10, LongWindows: 10, Threshold: 15},
+		{IntervalInsts: 1, ShortWindows: 10, LongWindows: 100, Threshold: 0},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("options %d should be invalid", i)
+		}
+	}
+}
+
+func TestNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Options{})
+}
+
+func TestStationaryWorkloadNoPhase(t *testing.T) {
+	d := New(opts())
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		// Stationary noise around 100 requests/interval.
+		if _, newPhase := d.Observe(100 + rng.NormFloat64()*5); newPhase {
+			t.Fatalf("false phase detection at interval %d", i)
+		}
+	}
+}
+
+func TestStepChangeDetected(t *testing.T) {
+	d := New(opts())
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		d.Observe(100 + rng.NormFloat64()*5)
+	}
+	detected := false
+	for i := 0; i < 50; i++ {
+		// Dramatic shift: 10x the traffic.
+		if _, newPhase := d.Observe(1000 + rng.NormFloat64()*5); newPhase {
+			detected = true
+			break
+		}
+	}
+	if !detected {
+		t.Fatal("10x workload shift not detected")
+	}
+	// After detection the history is cleared.
+	if d.HistoryLen() != 0 {
+		t.Fatalf("history not cleared: %d", d.HistoryLen())
+	}
+}
+
+func TestNoScoreBeforeWarm(t *testing.T) {
+	d := New(opts())
+	for i := 0; i < 2*opts().ShortWindows-1; i++ {
+		if s, _ := d.Observe(float64(i * 100)); s != 0 {
+			t.Fatalf("score before warm history = %v, want 0", s)
+		}
+	}
+}
+
+func TestGradualDriftTolerated(t *testing.T) {
+	// Slow drift should not look like a dramatic phase: the long window
+	// tracks it.
+	d := New(opts())
+	rng := rand.New(rand.NewSource(3))
+	level := 100.0
+	phases := 0
+	for i := 0; i < 400; i++ {
+		level += 0.2 // +0.2 per interval: 80 total over the run
+		if _, np := d.Observe(level + rng.NormFloat64()*8); np {
+			phases++
+		}
+	}
+	if phases > 2 {
+		t.Fatalf("gradual drift triggered %d phases", phases)
+	}
+}
+
+func TestHistoryBounded(t *testing.T) {
+	o := opts()
+	d := New(o)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 3*o.LongWindows; i++ {
+		d.Observe(50 + rng.NormFloat64())
+	}
+	if d.HistoryLen() > o.LongWindows {
+		t.Fatalf("history %d exceeds cap %d", d.HistoryLen(), o.LongWindows)
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New(opts())
+	for i := 0; i < 50; i++ {
+		d.Observe(10)
+	}
+	d.Reset()
+	if d.HistoryLen() != 0 {
+		t.Fatal("Reset must clear history")
+	}
+	if d.Options() != opts() {
+		t.Fatal("Options accessor wrong")
+	}
+}

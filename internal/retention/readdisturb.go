@@ -1,0 +1,163 @@
+package retention
+
+import (
+	"fmt"
+	"math"
+
+	"mct/internal/trace"
+)
+
+// The fifth trade-off of the paper's Table 1 — "Read Latency VS. Read
+// Disturbance" (Nair et al., HPCA 2015 "early read / turbo read"; Wang et
+// al., DSN 2016) — completes the implementable rows of that table: fast
+// reads use shorter sensing with a higher disturb rate, so a line must be
+// refreshed (rewritten) after a bounded number of fast reads, costing wear,
+// energy and bank time.
+
+// ReadDisturbConfig is one point of the read-disturbance technique space.
+type ReadDisturbConfig struct {
+	// ReadRatio ∈ (0, 1]: read latency relative to nominal; 1.0 is a full
+	// (non-disturbing) read.
+	ReadRatio float64
+	// DisturbThreshold is how many fast reads a line tolerates before it
+	// must be refreshed (ignored at ReadRatio 1.0).
+	DisturbThreshold int
+}
+
+// Validate checks structural constraints.
+func (c ReadDisturbConfig) Validate() error {
+	if c.ReadRatio <= 0 || c.ReadRatio > 1 {
+		return fmt.Errorf("retention: read ratio %g outside (0,1]", c.ReadRatio)
+	}
+	if c.ReadRatio < 1 && c.DisturbThreshold <= 0 {
+		return fmt.Errorf("retention: fast reads need a disturb threshold")
+	}
+	return nil
+}
+
+// Vector encodes the configuration for the learning stack.
+func (c ReadDisturbConfig) Vector() []float64 {
+	return []float64{c.ReadRatio, float64(c.DisturbThreshold)}
+}
+
+// DisturbBudget returns how many fast reads at the given ratio a line
+// physically tolerates before its stored value degrades: nominal reads
+// never disturb; the budget shrinks steeply as sensing gets faster.
+func (p Params) DisturbBudget(ratio float64) int {
+	if ratio >= 1 {
+		return math.MaxInt32
+	}
+	// 10^4 reads at 0.9×, down to 10^2 at 0.5× (exponential sensitivity).
+	decades := 4 - 2*(0.9-ratio)/0.4
+	if decades < 1 {
+		decades = 1
+	}
+	return int(math.Pow(10, decades))
+}
+
+// SimulateReadDisturb runs a benchmark's access stream under a
+// read-disturbance configuration: reads complete in TRead·ratio cycles;
+// every DisturbThreshold fast reads of a line trigger a refresh write
+// (wear + bank occupancy). Configurations whose threshold exceeds the
+// physical budget record violations.
+func SimulateReadDisturb(benchmark string, accesses int, cfg ReadDisturbConfig, p Params, seed int64) (Metrics, error) {
+	spec, err := trace.ByName(benchmark)
+	if err != nil {
+		return Metrics{}, err
+	}
+	return SimulateReadDisturbSpec(spec, accesses, cfg, p, seed)
+}
+
+// SimulateReadDisturbSpec is SimulateReadDisturb for an explicit workload
+// spec.
+func SimulateReadDisturbSpec(spec trace.Spec, accesses int, cfg ReadDisturbConfig, p Params, seed int64) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	gen := trace.NewGenerator(spec, seed)
+
+	var m Metrics
+	bankFree := make([]uint64, p.Banks)
+	readCount := map[uint64]int{}
+	budget := p.DisturbBudget(cfg.ReadRatio)
+	readLat := uint64(math.Round(float64(p.TRead) * cfg.ReadRatio))
+
+	var now uint64
+	wearPerWrite := 1.0 / p.EnduranceBase
+	var wear float64
+	var served, reads uint64
+
+	for i := 0; i < accesses; i++ {
+		a := gen.Next()
+		now += uint64(a.InstGap / 5)
+		line := a.Addr / 64
+		b := int(line) % p.Banks
+		start := max64(now, bankFree[b])
+		if a.Write {
+			bankFree[b] = start + p.TWP
+			wear += wearPerWrite
+			m.DemandWrites++
+			delete(readCount, line) // a write restores the cell
+		} else {
+			bankFree[b] = start + readLat
+			reads++
+			if cfg.ReadRatio < 1 {
+				readCount[line]++
+				if readCount[line] > budget {
+					m.Violations++
+				}
+				if readCount[line] >= cfg.DisturbThreshold {
+					// Refresh: rewrite the disturbed line.
+					bankFree[b] += p.TWP
+					wear += wearPerWrite
+					m.ScrubWrites++
+					delete(readCount, line)
+				}
+			}
+		}
+		served++
+		if bankFree[b] > now+1_000_000 {
+			now = bankFree[b] - 1_000_000
+		}
+	}
+	var end uint64 = now
+	for _, f := range bankFree {
+		if f > end {
+			end = f
+		}
+	}
+	m.Cycles = end
+	if end > 0 {
+		m.Throughput = float64(served) / float64(end)
+	}
+	seconds := float64(end) / p.MemCyclesPerSec
+	poolBudget := float64(p.LinesPerBank) * p.WearLevelEff * float64(p.Banks)
+	if wear > 0 && seconds > 0 {
+		m.LifetimeYears = seconds * poolBudget / wear / 31_557_600.0
+		if m.LifetimeYears > 1000 {
+			m.LifetimeYears = 1000
+		}
+	} else {
+		m.LifetimeYears = 1000
+	}
+	writes := float64(m.DemandWrites + m.ScrubWrites)
+	m.EnergyJ = writes*p.WriteEnergy + float64(reads)*p.ReadEnergy*cfg.ReadRatio + seconds*p.StaticPower
+	return m, nil
+}
+
+// ReadDisturbSpace enumerates the technique's configuration grid.
+func ReadDisturbSpace(p Params) []ReadDisturbConfig {
+	ratios := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	thresholds := []int{64, 256, 1024, 4096}
+	var out []ReadDisturbConfig
+	for _, r := range ratios {
+		if r >= 1 {
+			out = append(out, ReadDisturbConfig{ReadRatio: 1, DisturbThreshold: 1})
+			continue
+		}
+		for _, th := range thresholds {
+			out = append(out, ReadDisturbConfig{ReadRatio: r, DisturbThreshold: th})
+		}
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package retention
+
+import (
+	"testing"
+
+	"mct/internal/trace"
+)
+
+func TestReadDisturbValidate(t *testing.T) {
+	if err := (ReadDisturbConfig{ReadRatio: 1, DisturbThreshold: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (ReadDisturbConfig{ReadRatio: 0.7, DisturbThreshold: 100}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []ReadDisturbConfig{
+		{ReadRatio: 0},
+		{ReadRatio: 1.2},
+		{ReadRatio: 0.5}, // fast reads without a threshold
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestDisturbBudgetDecays(t *testing.T) {
+	p := DefaultParams()
+	b9 := p.DisturbBudget(0.9)
+	b5 := p.DisturbBudget(0.5)
+	if b9 <= b5 {
+		t.Fatalf("budget must shrink with faster reads: %d vs %d", b9, b5)
+	}
+	if p.DisturbBudget(1.0) < 1<<30 {
+		t.Fatal("nominal reads must not disturb")
+	}
+}
+
+func TestReadDisturbSpace(t *testing.T) {
+	sp := ReadDisturbSpace(DefaultParams())
+	if len(sp) != 5*4+1 {
+		t.Fatalf("space size %d, want 21", len(sp))
+	}
+	for _, c := range sp {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid member %+v: %v", c, err)
+		}
+	}
+}
+
+func TestFastReadsTriggerRefreshes(t *testing.T) {
+	p := DefaultParams()
+	// A read-hot region: lines accumulate reads quickly, so fast reads
+	// with a small threshold must refresh.
+	hot := trace.Spec{Name: "hotreads", Phases: []trace.Phase{{
+		Insts: 1 << 40, MPKI: 40, WriteFrac: 0.05,
+		HotFrac: 1.0, HotBytes: 64 * 1024,
+	}}}
+	slow, err := SimulateReadDisturbSpec(hot, 100_000, ReadDisturbConfig{ReadRatio: 1, DisturbThreshold: 1}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := SimulateReadDisturbSpec(hot, 100_000, ReadDisturbConfig{ReadRatio: 0.5, DisturbThreshold: 64}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.ScrubWrites != 0 {
+		t.Fatal("nominal reads must not refresh")
+	}
+	if fast.ScrubWrites == 0 {
+		t.Fatal("fast reads on a hot region must refresh")
+	}
+	if fast.LifetimeYears >= slow.LifetimeYears {
+		t.Fatalf("refreshes must cost lifetime: %v vs %v", fast.LifetimeYears, slow.LifetimeYears)
+	}
+}
+
+func TestOverBudgetThresholdViolates(t *testing.T) {
+	p := DefaultParams()
+	// A tiny, read-only hot region: individual lines accumulate hundreds
+	// of reads between writes. Budget at 0.5 is 100 reads; a 4096
+	// threshold lets cells degrade.
+	hot := trace.Spec{Name: "hotreads", Phases: []trace.Phase{{
+		Insts: 1 << 40, MPKI: 40, WriteFrac: 0.01,
+		HotFrac: 1.0, HotBytes: 4096,
+	}}}
+	m, err := SimulateReadDisturbSpec(hot, 100_000, ReadDisturbConfig{ReadRatio: 0.5, DisturbThreshold: 4096}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Violations == 0 {
+		t.Fatal("threshold beyond the disturb budget must violate")
+	}
+	safe, err := SimulateReadDisturbSpec(hot, 100_000, ReadDisturbConfig{ReadRatio: 0.5, DisturbThreshold: 64}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Violations != 0 {
+		t.Fatalf("safe threshold produced %d violations", safe.Violations)
+	}
+}
+
+func TestReadDisturbDeterministic(t *testing.T) {
+	cfg := ReadDisturbConfig{ReadRatio: 0.7, DisturbThreshold: 256}
+	a, _ := SimulateReadDisturb("milc", 20_000, cfg, DefaultParams(), 2)
+	b, _ := SimulateReadDisturb("milc", 20_000, cfg, DefaultParams(), 2)
+	if a != b {
+		t.Fatal("simulation must be deterministic")
+	}
+}

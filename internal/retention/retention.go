@@ -1,0 +1,246 @@
+// Package retention implements the second trade-off family of the paper's
+// Table 1 — "Write Latency VS. Retention" (Li et al., DATE 2014; Zhang et
+// al., HPCA 2017) — as an additional substrate demonstrating the
+// generality claim of §4.4: MCT's learning framework applies to any NVM
+// technique built from latency/endurance/retention knobs, not just mellow
+// writes.
+//
+// The mechanism: a write faster than nominal (ratio < 1, e.g. truncated
+// SET pulses in MLC PCM) completes sooner but retains data for a bounded
+// time. A region retention monitor must scrub (rewrite) fast-written lines
+// before their retention expires, costing extra writes (wear, energy) and
+// bank occupancy. The knobs — write speed ratio and scrub interval — span
+// a configuration space with exactly the structure MCT optimizes:
+// performance vs lifetime vs energy under a hard correctness constraint
+// (scrub interval ≤ retention).
+package retention
+
+import (
+	"fmt"
+	"math"
+
+	"mct/internal/trace"
+)
+
+// Config is one point of the retention-technique space.
+type Config struct {
+	// WriteRatio ∈ (0, 1]: write pulse relative to nominal. 1.0 is a full
+	// (non-volatile) write; smaller is faster but volatile.
+	WriteRatio float64
+	// ScrubIntervalCycles is the refresh period for fast-written lines
+	// (ignored at WriteRatio 1.0, where retention is effectively
+	// unbounded).
+	ScrubIntervalCycles uint64
+}
+
+// Validate checks structural constraints.
+func (c Config) Validate() error {
+	if c.WriteRatio <= 0 || c.WriteRatio > 1 {
+		return fmt.Errorf("retention: write ratio %g outside (0,1]", c.WriteRatio)
+	}
+	if c.WriteRatio < 1 && c.ScrubIntervalCycles == 0 {
+		return fmt.Errorf("retention: fast writes need a scrub interval")
+	}
+	return nil
+}
+
+// Vector encodes the configuration for the learning stack.
+func (c Config) Vector() []float64 {
+	return []float64{c.WriteRatio, float64(c.ScrubIntervalCycles)}
+}
+
+// Params holds the device/system model.
+type Params struct {
+	MemCyclesPerSec float64
+	TWP             uint64  // nominal write pulse, cycles
+	TRead           uint64  // read service, cycles
+	EnduranceBase   float64 // writes per line at nominal pulse
+	// RetentionAt1 is the retention of a nominal write, in cycles
+	// (effectively unbounded).
+	RetentionAt1 float64
+	// RetentionDecades: retention shrinks by this many decades as the
+	// ratio goes 1.0 → 0.5 (exponential sensitivity of partial writes).
+	RetentionDecades float64
+	// Banks bounds write concurrency (one write per bank at a time in
+	// this simplified model).
+	Banks int
+	// LinesPerBank and WearLevelEff mirror the main NVM model's lifetime
+	// accounting.
+	LinesPerBank uint64
+	WearLevelEff float64
+	// Energy coefficients (J); fast writes cost proportionally less.
+	WriteEnergy float64
+	ReadEnergy  float64
+	StaticPower float64
+}
+
+// DefaultParams returns a device scaled to the simulator's millisecond
+// runs: nominal retention is effectively infinite, while a 0.5× write
+// retains data for RetentionAt1 / 10^RetentionDecades cycles.
+func DefaultParams() Params {
+	return Params{
+		MemCyclesPerSec:  400e6,
+		TWP:              60,
+		TRead:            49,
+		EnduranceBase:    8e6 * 0.45,
+		RetentionAt1:     4e12, // ~3 hours of cycles: unbounded at run scale
+		RetentionDecades: 7,
+		Banks:            16,
+		LinesPerBank:     4 << 30 / 16 / 64,
+		WearLevelEff:     0.95,
+		WriteEnergy:      30e-9,
+		ReadEnergy:       2e-9,
+		StaticPower:      1.3,
+	}
+}
+
+// RetentionCycles returns the retention of a write at the given ratio.
+func (p Params) RetentionCycles(ratio float64) float64 {
+	if ratio >= 1 {
+		return p.RetentionAt1
+	}
+	// Exponential decay: each (1-ratio) of pulse loses
+	// RetentionDecades/0.5 decades.
+	decades := p.RetentionDecades * (1 - ratio) / 0.5
+	return p.RetentionAt1 / math.Pow(10, decades)
+}
+
+// Metrics reports a run's outcome in MCT's tradeoff space.
+type Metrics struct {
+	// Throughput is served requests per cycle (the performance proxy).
+	Throughput float64
+	// LifetimeYears projects wear (demand + scrub writes) as in the main
+	// model.
+	LifetimeYears float64
+	EnergyJ       float64
+	// Violations counts lines whose data would have expired before their
+	// scrub — a correctness failure (such configurations must be rejected
+	// by the optimizer via the constraint below).
+	Violations   uint64
+	ScrubWrites  uint64
+	DemandWrites uint64
+	Cycles       uint64
+}
+
+// Vector returns [throughput, lifetime, energy] for core.SelectOptimal.
+func (m Metrics) Vector() [3]float64 {
+	return [3]float64{m.Throughput, m.LifetimeYears, m.EnergyJ}
+}
+
+// Simulate runs a benchmark's memory-access stream under cfg. The model is
+// bank-occupancy based: reads and writes serialize per bank; scrubs rewrite
+// every live fast-written line each interval, at nominal (slow) pulses so
+// scrubbed data becomes durable.
+func Simulate(benchmark string, accesses int, cfg Config, p Params, seed int64) (Metrics, error) {
+	if err := cfg.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	spec, err := trace.ByName(benchmark)
+	if err != nil {
+		return Metrics{}, err
+	}
+	gen := trace.NewGenerator(spec, seed)
+
+	var m Metrics
+	bankFree := make([]uint64, p.Banks)
+	// liveFast maps line → deadline (cycle its retention expires).
+	liveFast := map[uint64]uint64{}
+	retention := p.RetentionCycles(cfg.WriteRatio)
+	writePulse := uint64(math.Round(float64(p.TWP) * cfg.WriteRatio))
+
+	var now uint64
+	nextScrub := cfg.ScrubIntervalCycles
+	wearPerDemand := 1.0 / (p.EnduranceBase * cfg.WriteRatio * cfg.WriteRatio)
+	wearPerScrub := 1.0 / p.EnduranceBase
+	var wear float64
+	var served uint64
+
+	for i := 0; i < accesses; i++ {
+		a := gen.Next()
+		// Time advances with the instruction stream (2 GHz core at IPC 1
+		// → 0.2 memory cycles per instruction; a constant-rate proxy).
+		now += uint64(a.InstGap / 5)
+
+		// Scrub epoch: rewrite all live fast lines durably.
+		for cfg.WriteRatio < 1 && now >= nextScrub {
+			for line, deadline := range liveFast {
+				if nextScrub > deadline {
+					m.Violations++
+				}
+				b := int(line) % p.Banks
+				start := max64(bankFree[b], nextScrub)
+				bankFree[b] = start + p.TWP
+				wear += wearPerScrub
+				m.ScrubWrites++
+				delete(liveFast, line)
+			}
+			nextScrub += cfg.ScrubIntervalCycles
+		}
+
+		line := a.Addr / 64
+		b := int(line) % p.Banks
+		start := max64(now, bankFree[b])
+		if a.Write {
+			bankFree[b] = start + writePulse
+			wear += wearPerDemand
+			m.DemandWrites++
+			if cfg.WriteRatio < 1 {
+				liveFast[line] = now + uint64(retention)
+			}
+		} else {
+			bankFree[b] = start + p.TRead
+		}
+		served++
+		if bankFree[b] > now+1_000_000 {
+			// Saturated: charge the backlog to elapsed time.
+			now = bankFree[b] - 1_000_000
+		}
+	}
+	var end uint64 = now
+	for _, f := range bankFree {
+		if f > end {
+			end = f
+		}
+	}
+	m.Cycles = end
+	if end > 0 {
+		m.Throughput = float64(served) / float64(end)
+	}
+	seconds := float64(end) / p.MemCyclesPerSec
+	budget := float64(p.LinesPerBank) * p.WearLevelEff * float64(p.Banks)
+	if wear > 0 && seconds > 0 {
+		m.LifetimeYears = seconds * budget / wear / 31_557_600.0
+		if m.LifetimeYears > 1000 {
+			m.LifetimeYears = 1000
+		}
+	} else {
+		m.LifetimeYears = 1000
+	}
+	writes := float64(m.DemandWrites)*cfg.WriteRatio + float64(m.ScrubWrites)
+	m.EnergyJ = writes*p.WriteEnergy + float64(served-m.DemandWrites)*p.ReadEnergy + seconds*p.StaticPower
+	return m, nil
+}
+
+// Space enumerates the technique's configuration grid.
+func Space(p Params) []Config {
+	ratios := []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	intervals := []uint64{50_000, 100_000, 200_000, 400_000, 800_000}
+	var out []Config
+	for _, r := range ratios {
+		if r >= 1 {
+			out = append(out, Config{WriteRatio: 1})
+			continue
+		}
+		for _, iv := range intervals {
+			out = append(out, Config{WriteRatio: r, ScrubIntervalCycles: iv})
+		}
+	}
+	return out
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

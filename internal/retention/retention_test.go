@@ -1,0 +1,127 @@
+package retention
+
+import (
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{WriteRatio: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Config{WriteRatio: 0.7, ScrubIntervalCycles: 1000}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{WriteRatio: 0},
+		{WriteRatio: 1.5},
+		{WriteRatio: 0.5}, // fast writes without scrubbing
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestRetentionDecays(t *testing.T) {
+	p := DefaultParams()
+	r1 := p.RetentionCycles(1.0)
+	r09 := p.RetentionCycles(0.9)
+	r05 := p.RetentionCycles(0.5)
+	if !(r1 > r09 && r09 > r05) {
+		t.Fatalf("retention must decay with speed: %g %g %g", r1, r09, r05)
+	}
+	// Half pulse loses RetentionDecades decades.
+	want := p.RetentionAt1 / 1e7
+	if r05 < want*0.9 || r05 > want*1.1 {
+		t.Fatalf("retention at 0.5 = %g, want ≈ %g", r05, want)
+	}
+}
+
+func TestSpaceShape(t *testing.T) {
+	sp := Space(DefaultParams())
+	if len(sp) != 5*5+1 {
+		t.Fatalf("space size %d, want 26", len(sp))
+	}
+	for _, c := range sp {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("invalid space member %+v: %v", c, err)
+		}
+	}
+}
+
+func TestSimulateNominalBaseline(t *testing.T) {
+	p := DefaultParams()
+	m, err := Simulate("stream", 40_000, Config{WriteRatio: 1}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Throughput <= 0 || m.Cycles == 0 {
+		t.Fatalf("degenerate metrics: %+v", m)
+	}
+	if m.ScrubWrites != 0 || m.Violations != 0 {
+		t.Fatal("nominal writes must not scrub")
+	}
+}
+
+func TestFastWritesTradeLifetimeForThroughput(t *testing.T) {
+	p := DefaultParams()
+	slow, err := Simulate("stream", 300_000, Config{WriteRatio: 1}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Simulate("stream", 300_000, Config{WriteRatio: 0.5, ScrubIntervalCycles: 100_000}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.ScrubWrites == 0 {
+		t.Fatal("fast writes must trigger scrubbing")
+	}
+	if fast.LifetimeYears >= slow.LifetimeYears {
+		t.Fatalf("fast+scrub must cost lifetime: %v vs %v", fast.LifetimeYears, slow.LifetimeYears)
+	}
+}
+
+func TestScrubBeyondRetentionViolates(t *testing.T) {
+	p := DefaultParams()
+	// Retention at 0.5 ≈ RetentionAt1/1e7 = 4e5 cycles; a 8e5 scrub
+	// interval must violate.
+	m, err := Simulate("gups", 400_000, Config{WriteRatio: 0.5, ScrubIntervalCycles: 800_000}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Violations == 0 {
+		t.Fatal("over-long scrub interval must produce retention violations")
+	}
+	safe, err := Simulate("gups", 400_000, Config{WriteRatio: 0.5, ScrubIntervalCycles: 100_000}, p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if safe.Violations != 0 {
+		t.Fatalf("safe interval produced %d violations", safe.Violations)
+	}
+}
+
+func TestTighterScrubMoreWrites(t *testing.T) {
+	p := DefaultParams()
+	tight, _ := Simulate("lbm", 300_000, Config{WriteRatio: 0.7, ScrubIntervalCycles: 50_000}, p, 1)
+	loose, _ := Simulate("lbm", 300_000, Config{WriteRatio: 0.7, ScrubIntervalCycles: 400_000}, p, 1)
+	if tight.ScrubWrites <= loose.ScrubWrites {
+		t.Fatalf("tighter scrubbing must rewrite more: %d vs %d", tight.ScrubWrites, loose.ScrubWrites)
+	}
+}
+
+func TestSimulateUnknownBenchmark(t *testing.T) {
+	if _, err := Simulate("nope", 100, Config{WriteRatio: 1}, DefaultParams(), 1); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := Config{WriteRatio: 0.8, ScrubIntervalCycles: 200_000}
+	a, _ := Simulate("milc", 20_000, cfg, DefaultParams(), 3)
+	b, _ := Simulate("milc", 20_000, cfg, DefaultParams(), 3)
+	if a != b {
+		t.Fatal("simulation must be deterministic")
+	}
+}

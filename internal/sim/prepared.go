@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"fmt"
+
+	"mct/internal/cache"
+	"mct/internal/config"
+	"mct/internal/trace"
+)
+
+// DefaultWarmupAccesses fills a 2 MB LLC (32768 lines) with headroom before
+// measurement starts; without warmup a short trace produces no evictions,
+// hence no memory writes and meaningless lifetimes.
+const DefaultWarmupAccesses = 60_000
+
+// Prepared is a benchmark workload prepared for repeated configuration
+// evaluations: the LLC has been warmed once (cache contents are independent
+// of the NVM configuration), and every evaluation clones the warmed cache
+// and replays the identical measurement trace. This is what makes
+// brute-force sweeps of thousands of configurations affordable and fair.
+type Prepared struct {
+	Spec trace.Spec
+	opt  Options
+
+	warmLLC *cache.Cache
+	tr      []trace.Access
+}
+
+// Prepare warms the LLC with warmup accesses of the named benchmark and
+// materializes measure accesses for evaluation. warmup ≤ 0 uses
+// DefaultWarmupAccesses.
+func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if measure <= 0 {
+		return nil, fmt.Errorf("sim: non-positive measurement length %d", measure)
+	}
+	if warmup <= 0 {
+		warmup = DefaultWarmupAccesses
+	}
+	spec, err := trace.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	llc, err := cache.New(opt.CacheBytes, opt.CacheWays)
+	if err != nil {
+		return nil, err
+	}
+	gen := trace.NewGenerator(spec, opt.Seed)
+	// Warm the cache; memory-side effects are discarded (the controller
+	// starts fresh per evaluation — its state warms within ~1k accesses).
+	for i := 0; i < warmup; i++ {
+		a := gen.Next()
+		llc.Access(a.Addr, a.Write)
+	}
+	return &Prepared{
+		Spec:    spec,
+		opt:     opt,
+		warmLLC: llc,
+		tr:      trace.Collect(gen, measure),
+	}, nil
+}
+
+// Trace returns the measurement trace (shared; do not mutate).
+func (p *Prepared) Trace() []trace.Access { return p.tr }
+
+// Evaluate measures one configuration on the prepared workload.
+func (p *Prepared) Evaluate(cfg config.Config) (Metrics, error) {
+	m, err := NewMachine(p.Spec, cfg, p.opt)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.llc = p.warmLLC.Clone()
+	m.beginWindow()
+	for _, a := range p.tr {
+		m.step(a)
+	}
+	final := m.ctrl.Drain(m.memNow())
+	if f := float64(final) * p.opt.CPUCyclesPerMemCycle; f > m.cpuCycles {
+		m.cpuCycles = f
+	}
+	return m.windowMetrics(), nil
+}
+
+// Warmup advances the machine by n trace accesses and then resets window
+// accounting — run it once before measuring so the LLC and controller reach
+// steady state. It returns the instructions executed.
+func (m *Machine) Warmup(n int) uint64 {
+	before := m.insts
+	for i := 0; i < n; i++ {
+		m.step(m.gen.Next())
+	}
+	m.beginWindow()
+	return m.insts - before
+}
+
+// Warmup advances every core round-robin for a total of n accesses and
+// resets window accounting.
+func (m *MultiMachine) Warmup(n int) uint64 {
+	var before uint64
+	for _, v := range m.insts {
+		before += v
+	}
+	for i := 0; i < n; i++ {
+		m.stepCore()
+	}
+	m.beginWindow()
+	var after uint64
+	for _, v := range m.insts {
+		after += v
+	}
+	return after - before
+}

@@ -1,0 +1,388 @@
+// Package sim wires the substrates into a full system: a synthetic workload
+// trace feeds the last-level cache; misses, writebacks and eager mellow
+// writebacks flow into the NVM controller; a simple out-of-order core model
+// converts memory latencies into stall cycles. Each run yields the three
+// objectives MCT optimizes — IPC, lifetime (years) and system energy (J) —
+// matching the tradeoff space of §4.1.2.
+package sim
+
+import (
+	"fmt"
+
+	"mct/internal/cache"
+	"mct/internal/config"
+	"mct/internal/energy"
+	"mct/internal/nvm"
+	"mct/internal/trace"
+)
+
+// Options configures a simulated machine.
+type Options struct {
+	Params nvm.Params
+	Energy energy.Model
+
+	// LLC geometry (Table 8: 2 MB, 16-way for single core).
+	CacheBytes int
+	CacheWays  int
+
+	// Core model. The core commits at 1/BaseCPI IPC when unstalled
+	// (8-issue OoO), pays LLCHitCycles per L3 hit, and exposes a fraction
+	// of each memory latency as stall: ReadStallFactor for load misses,
+	// StoreStallFactor for store misses (stores retire under the miss;
+	// only a fraction of the fill latency is exposed), and full stalls for
+	// write-queue backpressure.
+	BaseCPI          float64
+	LLCHitCycles     float64
+	ReadStallFactor  float64
+	StoreStallFactor float64
+
+	// CPUCyclesPerMemCycle couples the 2 GHz core to the 400 MHz
+	// controller.
+	CPUCyclesPerMemCycle float64
+
+	// EagerScanSets bounds the per-access victim scan for eager mellow
+	// writes.
+	EagerScanSets int
+
+	// Seed drives the workload generator.
+	Seed int64
+}
+
+// DefaultOptions returns the Table 8/9 system.
+func DefaultOptions() Options {
+	return Options{
+		Params:               nvm.DefaultParams(),
+		Energy:               energy.Default(),
+		CacheBytes:           2 << 20,
+		CacheWays:            16,
+		BaseCPI:              0.5,
+		LLCHitCycles:         10,
+		ReadStallFactor:      0.7,
+		StoreStallFactor:     0.3,
+		CPUCyclesPerMemCycle: 5,
+		EagerScanSets:        32,
+		Seed:                 1,
+	}
+}
+
+// Validate checks option sanity.
+func (o Options) Validate() error {
+	if err := o.Params.Validate(); err != nil {
+		return err
+	}
+	if err := o.Energy.Validate(); err != nil {
+		return err
+	}
+	if o.CacheBytes <= 0 || o.CacheWays <= 0 {
+		return fmt.Errorf("sim: invalid cache geometry %d/%d", o.CacheBytes, o.CacheWays)
+	}
+	if o.BaseCPI <= 0 || o.CPUCyclesPerMemCycle <= 0 {
+		return fmt.Errorf("sim: invalid core model (CPI %g, ratio %g)", o.BaseCPI, o.CPUCyclesPerMemCycle)
+	}
+	if o.ReadStallFactor < 0 || o.ReadStallFactor > 1 || o.StoreStallFactor < 0 || o.StoreStallFactor > 1 {
+		return fmt.Errorf("sim: stall factors must be in [0,1]")
+	}
+	return nil
+}
+
+// Metrics reports the objectives and supporting detail for a run or a
+// window of a run.
+type Metrics struct {
+	Instructions uint64
+	CPUCycles    float64
+	IPC          float64
+
+	Seconds       float64 // simulated wall time of the window
+	LifetimeYears float64 // projected from the window's wear rate
+
+	Energy  energy.Breakdown
+	EnergyJ float64
+
+	// Memory traffic in the window.
+	MemReads  uint64
+	MemWrites uint64 // demand + eager write issues
+
+	// Technique activity in the window.
+	EagerWrites     uint64
+	CancelledWrites uint64
+	ForcedWrites    uint64
+	SlowWrites      uint64
+	FastWrites      uint64
+	QueueFullStalls uint64
+
+	LLCHitRate float64
+	// RowHitRate is the open-page hit rate of demand reads at the NVM.
+	RowHitRate float64
+
+	// WearByBankDelta is the per-bank wear accrued in the window
+	// (line-lifetimes); it allows windows of the same configuration to be
+	// aggregated exactly (see Accum).
+	WearByBankDelta []float64
+
+	// Energy breakdown components needed to re-aggregate windows.
+	WritesByRatio map[float64]uint64
+}
+
+// Vector returns [IPC, lifetime, energy] — the tradeoff-space encoding of
+// §4.1.2.
+func (m Metrics) Vector() [3]float64 { return [3]float64{m.IPC, m.LifetimeYears, m.EnergyJ} }
+
+// Machine is a persistent simulated system executing one workload. It
+// supports online reconfiguration (SetConfig) and windowed execution, which
+// is what the MCT runtime drives during sampling and testing periods.
+type Machine struct {
+	opt  Options
+	gen  *trace.Generator
+	llc  *cache.Cache
+	ctrl *nvm.Controller
+
+	cpuCycles float64 // CPU cycles elapsed
+	insts     uint64
+
+	// window bookkeeping
+	winStartCycles float64
+	winStartInsts  uint64
+	winStartStats  nvm.Stats
+	winStartCache  cache.Stats
+}
+
+// NewMachine builds a machine running spec under cfg.
+func NewMachine(spec trace.Spec, cfg config.Config, opt Options) (*Machine, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	llc, err := cache.New(opt.CacheBytes, opt.CacheWays)
+	if err != nil {
+		return nil, err
+	}
+	ctrl, err := nvm.New(cfg, opt.Params)
+	if err != nil {
+		return nil, err
+	}
+	m := &Machine{
+		opt:  opt,
+		gen:  trace.NewGenerator(spec, opt.Seed),
+		llc:  llc,
+		ctrl: ctrl,
+	}
+	m.beginWindow()
+	return m, nil
+}
+
+// Config returns the active configuration.
+func (m *Machine) Config() config.Config { return m.ctrl.Config() }
+
+// Options returns the machine's construction options.
+func (m *Machine) Options() Options { return m.opt }
+
+// SetConfig reconfigures the NVM controller in place.
+func (m *Machine) SetConfig(cfg config.Config) error { return m.ctrl.SetConfig(cfg) }
+
+// Instructions returns total committed instructions.
+func (m *Machine) Instructions() uint64 { return m.insts }
+
+// CPUCycles returns total elapsed CPU cycles.
+func (m *Machine) CPUCycles() float64 { return m.cpuCycles }
+
+// Controller exposes the NVM controller (diagnostics and tests).
+func (m *Machine) Controller() *nvm.Controller { return m.ctrl }
+
+func (m *Machine) beginWindow() {
+	m.winStartCycles = m.cpuCycles
+	m.winStartInsts = m.insts
+	m.winStartStats = m.ctrl.Stats()
+	m.winStartCache = m.llc.Stats()
+}
+
+func (m *Machine) memNow() uint64 {
+	return uint64(m.cpuCycles / m.opt.CPUCyclesPerMemCycle)
+}
+
+// step executes one trace access.
+func (m *Machine) step(a trace.Access) {
+	o := &m.opt
+	m.cpuCycles += float64(a.InstGap) * o.BaseCPI
+	m.insts += uint64(a.InstGap)
+
+	res := m.llc.Access(a.Addr, a.Write)
+	if res.Hit {
+		m.cpuCycles += o.LLCHitCycles
+	} else {
+		now := m.memNow()
+		if res.Writeback {
+			accepted := m.ctrl.Write(res.WritebackAddr, now)
+			if accepted > now {
+				// Write-queue backpressure fully stalls the core.
+				m.cpuCycles += float64(accepted-now) * o.CPUCyclesPerMemCycle
+				now = accepted
+			}
+		}
+		done := m.ctrl.Read(res.FillAddr, now)
+		latCPU := float64(done-now) * o.CPUCyclesPerMemCycle
+		if a.Write {
+			m.cpuCycles += latCPU * o.StoreStallFactor
+		} else {
+			m.cpuCycles += latCPU * o.ReadStallFactor
+		}
+	}
+
+	// Eager mellow writes: harvest at most one dirty victim per access
+	// when the technique is on and the controller has room (§3.1).
+	cfg := m.ctrl.Config()
+	if cfg.EagerWritebacks && m.ctrl.EagerSpace() {
+		useless := m.llc.UselessPositions(cfg.EagerThreshold)
+		if useless > 0 {
+			if addr, ok := m.llc.NextEagerVictim(useless, o.EagerScanSets); ok {
+				m.ctrl.EagerWrite(addr, m.memNow())
+			}
+		}
+	}
+}
+
+// RunAccesses executes n trace accesses and returns the metrics of that
+// window.
+func (m *Machine) RunAccesses(n int) Metrics {
+	m.beginWindow()
+	for i := 0; i < n; i++ {
+		m.step(m.gen.Next())
+	}
+	return m.windowMetrics()
+}
+
+// RunInstructions executes trace accesses until at least n instructions
+// have committed in this window, returning the window metrics.
+func (m *Machine) RunInstructions(n uint64) Metrics {
+	m.beginWindow()
+	target := m.insts + n
+	for m.insts < target {
+		m.step(m.gen.Next())
+	}
+	return m.windowMetrics()
+}
+
+// windowMetrics computes metrics for the current window (since the last
+// beginWindow) without ending it.
+func (m *Machine) windowMetrics() Metrics {
+	st := m.ctrl.Stats()
+	cs := m.llc.Stats()
+	return m.metricsBetween(m.winStartCycles, m.winStartInsts, m.winStartStats, m.winStartCache, st, cs)
+}
+
+func (m *Machine) metricsBetween(c0 float64, i0 uint64, s0 nvm.Stats, llc0 cache.Stats, s1 nvm.Stats, llc1 cache.Stats) Metrics {
+	o := &m.opt
+	dCycles := m.cpuCycles - c0
+	dInsts := m.insts - i0
+	seconds := dCycles / o.CPUCyclesPerMemCycle / o.Params.MemCyclesPerSec
+
+	var mt Metrics
+	mt.Instructions = dInsts
+	mt.CPUCycles = dCycles
+	if dCycles > 0 {
+		mt.IPC = float64(dInsts) / dCycles
+	}
+	mt.Seconds = seconds
+
+	// Lifetime from the window's per-bank wear deltas.
+	wearDelta := make([]float64, len(s1.WearByBank))
+	var maxWear float64
+	for b, w1 := range s1.WearByBank {
+		d := w1 - s0.WearByBank[b]
+		wearDelta[b] = d
+		if d > maxWear {
+			maxWear = d
+		}
+	}
+	mt.WearByBankDelta = wearDelta
+	budget := float64(o.Params.LinesPerBank) * o.Params.WearLevelEff
+	if maxWear <= 0 || seconds <= 0 {
+		mt.LifetimeYears = 1000
+	} else {
+		mt.LifetimeYears = seconds * budget / maxWear / nvm.SecondsPerYear
+		if mt.LifetimeYears > 1000 {
+			mt.LifetimeYears = 1000
+		}
+	}
+
+	dst := diffStats(s0, s1)
+	if rh, rm := dst.RowHits, dst.RowMisses; rh+rm > 0 {
+		mt.RowHitRate = float64(rh) / float64(rh+rm)
+	}
+	mt.MemReads = dst.Reads
+	mt.MemWrites = dst.DemandWrites + dst.EagerWrites
+	mt.EagerWrites = dst.EagerWrites
+	mt.CancelledWrites = dst.CancelledWrites
+	mt.ForcedWrites = dst.ForcedWrites
+	mt.SlowWrites = dst.SlowWrites
+	mt.FastWrites = dst.FastWrites
+	mt.QueueFullStalls = dst.QueueFullStalls
+
+	mt.Energy = o.Energy.Compute(dInsts, seconds, dst)
+	mt.EnergyJ = mt.Energy.Total()
+	mt.WritesByRatio = dst.WritesByRatio
+
+	hits := llc1.Hits - llc0.Hits
+	total := hits + (llc1.Misses - llc0.Misses)
+	if total > 0 {
+		mt.LLCHitRate = float64(hits) / float64(total)
+	}
+	return mt
+}
+
+// diffStats returns s1-s0 for the counters used by metrics/energy.
+func diffStats(s0, s1 nvm.Stats) nvm.Stats {
+	d := nvm.Stats{
+		Reads:           s1.Reads - s0.Reads,
+		RowHits:         s1.RowHits - s0.RowHits,
+		RowMisses:       s1.RowMisses - s0.RowMisses,
+		ReadLatencySum:  s1.ReadLatencySum - s0.ReadLatencySum,
+		DemandWrites:    s1.DemandWrites - s0.DemandWrites,
+		EagerWrites:     s1.EagerWrites - s0.EagerWrites,
+		FastWrites:      s1.FastWrites - s0.FastWrites,
+		SlowWrites:      s1.SlowWrites - s0.SlowWrites,
+		ForcedWrites:    s1.ForcedWrites - s0.ForcedWrites,
+		CancelledWrites: s1.CancelledWrites - s0.CancelledWrites,
+		QueueFullStalls: s1.QueueFullStalls - s0.QueueFullStalls,
+		WritesByRatio:   make(map[float64]uint64),
+	}
+	for r, n1 := range s1.WritesByRatio {
+		if n0 := s0.WritesByRatio[r]; n1 > n0 {
+			d.WritesByRatio[r] = n1 - n0
+		}
+	}
+	return d
+}
+
+// EvaluateTrace runs a pre-materialized trace (identical for every
+// configuration — the fair-comparison methodology of trace-driven
+// simulation) on a fresh machine under cfg and returns the run metrics.
+// This is the hot path of brute-force "ideal" sweeps.
+func EvaluateTrace(tr []trace.Access, spec trace.Spec, cfg config.Config, opt Options) (Metrics, error) {
+	if err := opt.Validate(); err != nil {
+		return Metrics{}, err
+	}
+	m, err := NewMachine(spec, cfg, opt)
+	if err != nil {
+		return Metrics{}, err
+	}
+	m.beginWindow()
+	for _, a := range tr {
+		m.step(a)
+	}
+	// Drain queued writes so their wear and energy are charged to the run.
+	final := m.ctrl.Drain(m.memNow())
+	if f := float64(final) * opt.CPUCyclesPerMemCycle; f > m.cpuCycles {
+		m.cpuCycles = f
+	}
+	return m.windowMetrics(), nil
+}
+
+// Evaluate materializes nAccesses of the named benchmark (seeded by
+// opt.Seed) and evaluates cfg on it.
+func Evaluate(benchmark string, nAccesses int, cfg config.Config, opt Options) (Metrics, error) {
+	spec, err := trace.ByName(benchmark)
+	if err != nil {
+		return Metrics{}, err
+	}
+	tr := trace.Collect(trace.NewGenerator(spec, opt.Seed), nAccesses)
+	return EvaluateTrace(tr, spec, cfg, opt)
+}

@@ -1,0 +1,181 @@
+// Package stats provides the statistical primitives used across MCT:
+// summary statistics, Welch's t-test (the phase detector's core), the
+// coefficient of determination (the paper's accuracy metric, Eq. 3), and
+// geometric means (used for cross-benchmark aggregation).
+package stats
+
+import "math"
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs (0 for fewer than two
+// samples).
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n-1)
+}
+
+// StdDev returns the unbiased sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Summary holds streaming first- and second-moment statistics.
+// The zero value is an empty summary ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64 // sum of squared deviations (Welford)
+}
+
+// Add folds x into the summary.
+func (s *Summary) Add(x float64) {
+	s.n++
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the running mean.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased running variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the unbiased running standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Reset returns the summary to its empty state.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// TScore returns the absolute Welch's t statistic for the difference of the
+// means of two samples given their means, variances and sizes. It returns 0
+// when either sample is too small or both variances vanish. This is the
+// "two-sided Student's t-test" score of §5.1: larger scores indicate higher
+// confidence that the two windows have different mean memory workload.
+func TScore(mean1, var1 float64, n1 int, mean2, var2 float64, n2 int) float64 {
+	if n1 < 2 || n2 < 2 {
+		return 0
+	}
+	se := var1/float64(n1) + var2/float64(n2)
+	if se <= 0 {
+		if mean1 == mean2 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(mean1-mean2) / math.Sqrt(se)
+}
+
+// R2 returns the coefficient-of-determination accuracy metric from Eq. 3 of
+// the paper: max(0, 1 - ‖pred-true‖² / ‖true-mean(true)‖²). Slices must have
+// equal length; it returns 0 for fewer than two observations or when the
+// true data has no variance and the prediction is off.
+func R2(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(truth) < 2 {
+		return 0
+	}
+	m := Mean(truth)
+	var ssRes, ssTot float64
+	for i, t := range truth {
+		r := t - pred[i]
+		ssRes += r * r
+		d := t - m
+		ssTot += d * d
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	r2 := 1 - ssRes/ssTot
+	if r2 < 0 {
+		return 0
+	}
+	return r2
+}
+
+// GeoMean returns the geometric mean of xs. All values must be positive;
+// non-positive values contribute as a tiny epsilon so a single zero cannot
+// produce NaN in reports.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-12
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}
+
+// MinMax returns the minimum and maximum of xs. It panics on an empty slice.
+func MinMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// ArgMax returns the index of the largest element of xs, or -1 if empty.
+func ArgMax(xs []float64) int {
+	best := -1
+	bestV := math.Inf(-1)
+	for i, x := range xs {
+		if x > bestV {
+			best, bestV = i, x
+		}
+	}
+	return best
+}
+
+// MeanAbsErr returns the mean absolute error between pred and truth.
+// Slices must have equal length; it returns 0 for empty input.
+func MeanAbsErr(pred, truth []float64) float64 {
+	if len(pred) != len(truth) || len(pred) == 0 {
+		return 0
+	}
+	var s float64
+	for i, p := range pred {
+		s += math.Abs(p - truth[i])
+	}
+	return s / float64(len(pred))
+}

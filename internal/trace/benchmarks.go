@@ -1,0 +1,124 @@
+package trace
+
+// Footprint size helpers.
+const (
+	kib = 1 << 10
+	mib = 1 << 20
+)
+
+// registry holds the synthetic stand-ins for the paper's ten workloads
+// (§6.1): seven memory-intensive SPEC CPU2006 benchmarks, ocean from
+// SPLASH-2, and the gups / stream microbenchmarks. Parameters are tuned for
+// the cross-application diversity MCT exploits: write intensity, read/write
+// mix, locality, burstiness, and phase structure all differ.
+var registry = map[string]Spec{
+	// lbm: lattice-Boltzmann fluid dynamics — streaming read-modify-write
+	// sweeps over a large grid; the most write-intensive SPEC workload and
+	// the paper's flagship example (35% MCT gain over static).
+	"lbm": {Name: "lbm", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 28, WriteFrac: 0.46,
+		HotFrac: 0.05, HotBytes: 512 * kib,
+		ColdBytes: 512 * mib, Pattern: Sequential,
+		BurstLen: 4000, IdleMul: 3,
+	}}},
+
+	// leslie3d: computational fluid dynamics — moderate intensity, mixed
+	// locality.
+	"leslie3d": {Name: "leslie3d", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 16, WriteFrac: 0.36,
+		HotFrac: 0.30, HotBytes: 1 * mib,
+		ColdBytes: 256 * mib, Pattern: Sequential,
+		BurstLen: 2500, IdleMul: 2.5,
+	}}},
+
+	// zeusmp: astrophysical CFD — good cache locality; the one workload
+	// whose default configuration already satisfies an 8-year lifetime in
+	// the paper (Figure 7).
+	"zeusmp": {Name: "zeusmp", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 3, WriteFrac: 0.24,
+		HotFrac: 0.90, HotBytes: 1 * mib,
+		ColdBytes: 128 * mib, Pattern: Strided, Stride: 128,
+	}}},
+
+	// GemsFDTD: finite-difference time-domain electromagnetics — strided
+	// sweeps over field arrays.
+	"GemsFDTD": {Name: "GemsFDTD", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 18, WriteFrac: 0.31,
+		HotFrac: 0.15, HotBytes: 1 * mib,
+		ColdBytes: 384 * mib, Pattern: Strided, Stride: 256,
+		BurstLen: 3000, IdleMul: 2,
+	}}},
+
+	// milc: lattice QCD — irregular gather/scatter over a large lattice.
+	"milc": {Name: "milc", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 21, WriteFrac: 0.34,
+		HotFrac: 0.10, HotBytes: 512 * kib,
+		ColdBytes: 512 * mib, Pattern: Random,
+		BurstLen: 2000, IdleMul: 2,
+	}}},
+
+	// bwaves: blast-wave CFD — read-dominated sequential sweeps.
+	"bwaves": {Name: "bwaves", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 22, WriteFrac: 0.20,
+		HotFrac: 0.10, HotBytes: 768 * kib,
+		ColdBytes: 512 * mib, Pattern: Sequential,
+	}}},
+
+	// libquantum: quantum-computer simulation — strongly bursty streaming
+	// over a modest footprint (§5.2 cites it as memory-bursty).
+	"libquantum": {Name: "libquantum", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 24, WriteFrac: 0.26,
+		HotFrac:   0.0,
+		ColdBytes: 64 * mib, Pattern: Sequential,
+		BurstLen: 6000, IdleMul: 5,
+	}}},
+
+	// ocean: SPLASH-2 ocean-current simulation — the paper's coarse-phase
+	// example (Figure 6): alternating stencil sweeps, relaxation steps, and
+	// compute-dominated spans with very different memory behaviour.
+	"ocean": {Name: "ocean", Phases: []Phase{
+		{ // stencil sweep: intense, write-heavy, streaming
+			Insts: 2_500_000, MPKI: 32, WriteFrac: 0.42,
+			ColdBytes: 128 * mib, Pattern: Sequential,
+			BurstLen: 3000, IdleMul: 2,
+		},
+		{ // compute-dominated span: sparse traffic with locality
+			Insts: 2_500_000, MPKI: 4, WriteFrac: 0.22,
+			HotFrac: 0.60, HotBytes: 1 * mib,
+			ColdBytes: 64 * mib, Pattern: Strided, Stride: 192,
+		},
+		{ // red-black relaxation: strided, moderately write-heavy
+			Insts: 2_500_000, MPKI: 22, WriteFrac: 0.36,
+			ColdBytes: 96 * mib, Pattern: Strided, Stride: 128,
+		},
+		{ // boundary exchange: irregular, read-leaning
+			Insts: 2_500_000, MPKI: 11, WriteFrac: 0.28,
+			HotFrac: 0.25, HotBytes: 512 * kib,
+			ColdBytes: 128 * mib, Pattern: Random,
+		},
+	}},
+
+	// gups: giga-updates-per-second microbenchmark — uniform random
+	// read-modify-write over a huge table (worst-case locality).
+	"gups": {Name: "gups", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 36, WriteFrac: 0.50,
+		ColdBytes: 1024 * mib, Pattern: Random,
+	}}},
+
+	// stream: STREAM triad-style copy/scale/add — perfectly regular
+	// sequential traffic with a fixed store share.
+	"stream": {Name: "stream", Phases: []Phase{{
+		Insts: 10_000_000, MPKI: 44, WriteFrac: 0.34,
+		ColdBytes: 256 * mib, Pattern: Sequential,
+	}}},
+}
+
+// mixes are the multi-program workloads of Table 11.
+var mixes = map[string][]string{
+	"mix1": {"lbm", "libquantum", "stream", "ocean"},
+	"mix2": {"leslie3d", "bwaves", "stream", "ocean"},
+	"mix3": {"GemsFDTD", "milc", "zeusmp", "bwaves"},
+	"mix4": {"lbm", "leslie3d", "zeusmp", "GemsFDTD"},
+	"mix5": {"GemsFDTD", "milc", "bwaves", "libquantum"},
+	"mix6": {"libquantum", "bwaves", "stream", "ocean"},
+}

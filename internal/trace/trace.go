@@ -1,0 +1,275 @@
+// Package trace generates deterministic synthetic memory-access traces that
+// stand in for the paper's SPEC CPU2006 / SPLASH-2 / microbenchmark
+// workloads (§6.1). A trace is the post-L2 access stream seen by the last
+// level cache: each event carries the number of instructions executed since
+// the previous access, a byte address, and a load/store flag.
+//
+// Each benchmark is described by a Spec — a cyclic schedule of phases, each
+// with its own access intensity (MPKI), write fraction, locality structure
+// (hot-region fraction and sizes), access pattern, and burst shape. The
+// generators are seeded and fully deterministic, so every NVM configuration
+// of a benchmark replays the identical trace, as in trace-driven simulation.
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// LineBytes is the cache-line size; all addresses are line-aligned when
+// consumed by the cache model.
+const LineBytes = 64
+
+// Access is one LLC-level memory access.
+type Access struct {
+	// InstGap is the number of instructions executed since the previous
+	// access (≥1).
+	InstGap uint32
+	// Addr is the byte address of the access.
+	Addr uint64
+	// Write marks a store (which dirties the line in the LLC).
+	Write bool
+}
+
+// PatternKind selects how cold-region addresses advance.
+type PatternKind uint8
+
+const (
+	// Sequential walks the cold region line by line (streaming).
+	Sequential PatternKind = iota
+	// Strided walks the cold region with a fixed stride.
+	Strided
+	// Random draws uniform addresses from the cold region.
+	Random
+)
+
+// String implements fmt.Stringer.
+func (p PatternKind) String() string {
+	switch p {
+	case Sequential:
+		return "sequential"
+	case Strided:
+		return "strided"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("PatternKind(%d)", uint8(p))
+	}
+}
+
+// Phase is one segment of a benchmark's cyclic phase schedule.
+type Phase struct {
+	// Insts is the instruction length of the phase within one cycle of the
+	// schedule.
+	Insts uint64
+	// MPKI is the mean number of LLC accesses per 1000 instructions.
+	MPKI float64
+	// WriteFrac is the store fraction of accesses.
+	WriteFrac float64
+	// HotFrac is the fraction of accesses that target the hot region
+	// (uniformly at random within HotBytes); the rest target the cold
+	// region under Pattern.
+	HotFrac  float64
+	HotBytes uint64
+	// ColdBytes is the cold-region footprint the pattern walks through.
+	ColdBytes uint64
+	Pattern   PatternKind
+	// Stride is the byte stride for the Strided pattern (≥ LineBytes).
+	Stride uint64
+	// BurstLen, when nonzero, alternates bursts of BurstLen accesses at
+	// full intensity with quiet spans of BurstLen accesses whose
+	// instruction gaps are stretched by IdleMul.
+	BurstLen uint64
+	// IdleMul stretches gaps in quiet spans (≥1; 0 means no bursts).
+	IdleMul float64
+}
+
+// Spec is a complete benchmark description.
+type Spec struct {
+	Name string
+	// Phases cycle in order; a single-phase spec is steady-state.
+	Phases []Phase
+}
+
+// TotalCycleInsts returns the instruction length of one pass through the
+// phase schedule.
+func (s Spec) TotalCycleInsts() uint64 {
+	var t uint64
+	for _, p := range s.Phases {
+		t += p.Insts
+	}
+	return t
+}
+
+// Generator produces the access stream for a Spec. It is not safe for
+// concurrent use.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+
+	phaseIdx   int
+	phaseInsts uint64 // instructions consumed within the current phase
+	coldCursor uint64
+	burstPos   uint64
+	// addrBase offsets the whole address space (distinct per core in
+	// multi-program runs).
+	addrBase uint64
+}
+
+// NewGenerator returns a deterministic generator for spec seeded with seed.
+func NewGenerator(spec Spec, seed int64) *Generator {
+	if len(spec.Phases) == 0 {
+		panic("trace: spec has no phases")
+	}
+	return &Generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
+}
+
+// NewGeneratorAt is NewGenerator with the address space offset by base
+// (used to give each core of a multi-program workload a private footprint).
+func NewGeneratorAt(spec Spec, seed int64, base uint64) *Generator {
+	g := NewGenerator(spec, seed)
+	g.addrBase = base
+	return g
+}
+
+// Spec returns the generator's benchmark spec.
+func (g *Generator) Spec() Spec { return g.spec }
+
+const (
+	hotRegionBase  = 0x1000_0000
+	coldRegionBase = 0x8000_0000
+)
+
+// Next produces the next access in the stream.
+func (g *Generator) Next() Access {
+	ph := &g.spec.Phases[g.phaseIdx]
+
+	// Mean instructions per access in this phase.
+	meanGap := 1000.0 / ph.MPKI
+	if meanGap < 1 {
+		meanGap = 1
+	}
+	// Burst shaping: quiet spans stretch the gap.
+	gapMul := 1.0
+	if ph.BurstLen > 0 && ph.IdleMul > 1 {
+		if (g.burstPos/ph.BurstLen)%2 == 1 {
+			gapMul = ph.IdleMul
+		}
+		g.burstPos++
+	}
+	// Geometric-ish gap: exponential with the phase mean, floored at 1.
+	gap := g.rng.ExpFloat64() * meanGap * gapMul
+	if gap < 1 {
+		gap = 1
+	}
+	if gap > 1e6 {
+		gap = 1e6
+	}
+	instGap := uint32(gap)
+
+	var addr uint64
+	if ph.HotFrac > 0 && g.rng.Float64() < ph.HotFrac {
+		hot := ph.HotBytes
+		if hot < LineBytes {
+			hot = LineBytes
+		}
+		addr = hotRegionBase + uint64(g.rng.Int63n(int64(hot/LineBytes)))*LineBytes
+	} else {
+		cold := ph.ColdBytes
+		if cold < LineBytes {
+			cold = LineBytes
+		}
+		switch ph.Pattern {
+		case Sequential:
+			addr = coldRegionBase + g.coldCursor%cold
+			g.coldCursor += LineBytes
+		case Strided:
+			stride := ph.Stride
+			if stride < LineBytes {
+				stride = LineBytes
+			}
+			addr = coldRegionBase + g.coldCursor%cold
+			g.coldCursor += stride
+		case Random:
+			addr = coldRegionBase + uint64(g.rng.Int63n(int64(cold/LineBytes)))*LineBytes
+		}
+	}
+
+	write := g.rng.Float64() < ph.WriteFrac
+
+	// Advance the phase schedule.
+	g.phaseInsts += uint64(instGap)
+	if g.phaseInsts >= ph.Insts {
+		g.phaseInsts = 0
+		g.phaseIdx = (g.phaseIdx + 1) % len(g.spec.Phases)
+		g.burstPos = 0
+	}
+
+	return Access{InstGap: instGap, Addr: g.addrBase + addr&^uint64(LineBytes-1), Write: write}
+}
+
+// Collect materializes the next n accesses of g into a slice.
+func Collect(g *Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+// Materialize builds a trace of n accesses for the named benchmark with the
+// given seed. It returns an error for unknown benchmarks.
+func Materialize(name string, n int, seed int64) ([]Access, error) {
+	spec, err := ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Collect(NewGenerator(spec, seed), n), nil
+}
+
+// Names returns the registered benchmark names in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName returns the Spec for a registered benchmark.
+func ByName(name string) (Spec, error) {
+	s, ok := registry[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("trace: unknown benchmark %q (have %v)", name, Names())
+	}
+	return s, nil
+}
+
+// MixNames returns the names of the multi-program mixes of Table 11.
+func MixNames() []string {
+	names := make([]string, 0, len(mixes))
+	for n := range mixes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MixByName returns the four benchmark specs of a Table 11 mix.
+func MixByName(name string) ([]Spec, error) {
+	members, ok := mixes[name]
+	if !ok {
+		return nil, fmt.Errorf("trace: unknown mix %q (have %v)", name, MixNames())
+	}
+	specs := make([]Spec, len(members))
+	for i, m := range members {
+		s, err := ByName(m)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = s
+	}
+	return specs, nil
+}

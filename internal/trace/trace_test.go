@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegistryNames(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("expected 10 benchmarks, got %d: %v", len(names), names)
+	}
+	for _, want := range []string{"lbm", "leslie3d", "zeusmp", "GemsFDTD", "milc", "bwaves", "libquantum", "ocean", "gups", "stream"} {
+		if _, err := ByName(want); err != nil {
+			t.Errorf("missing benchmark %s: %v", want, err)
+		}
+	}
+	// Sorted.
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestMixes(t *testing.T) {
+	if len(MixNames()) != 6 {
+		t.Fatalf("expected 6 mixes, got %v", MixNames())
+	}
+	specs, err := MixByName("mix1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != 4 {
+		t.Fatalf("mix1 has %d members, want 4", len(specs))
+	}
+	if _, err := MixByName("mix99"); err == nil {
+		t.Fatal("unknown mix must error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec, _ := ByName("lbm")
+	a := Collect(NewGenerator(spec, 7), 5000)
+	b := Collect(NewGenerator(spec, 7), 5000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := Collect(NewGenerator(spec, 8), 5000)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds must produce different traces")
+	}
+}
+
+// Property: every access is line-aligned with a positive instruction gap.
+func TestAccessInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		spec, _ := ByName("milc")
+		g := NewGenerator(spec, seed)
+		for i := 0; i < 2000; i++ {
+			a := g.Next()
+			if a.InstGap < 1 || a.Addr%LineBytes != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntensityMatchesSpec(t *testing.T) {
+	// Effective MPKI must land in a sane band around the spec (burst
+	// shaping lowers it; it must never exceed the spec's nominal rate by
+	// much).
+	for _, name := range Names() {
+		spec, _ := ByName(name)
+		tr := Collect(NewGenerator(spec, 1), 100_000)
+		var insts uint64
+		var writes int
+		for _, a := range tr {
+			insts += uint64(a.InstGap)
+			if a.Write {
+				writes++
+			}
+		}
+		mpki := float64(len(tr)) / float64(insts) * 1000
+		nominal := spec.Phases[0].MPKI
+		if mpki > nominal*1.3 {
+			t.Errorf("%s: effective MPKI %.1f exceeds nominal %.1f", name, mpki, nominal)
+		}
+		if mpki < nominal*0.1 {
+			t.Errorf("%s: effective MPKI %.1f far below nominal %.1f", name, mpki, nominal)
+		}
+		wf := float64(writes) / float64(len(tr))
+		if wf < 0.05 || wf > 0.8 {
+			t.Errorf("%s: write fraction %.2f out of band", name, wf)
+		}
+	}
+}
+
+func TestWriteFractionDiversity(t *testing.T) {
+	// The learning problem depends on cross-application diversity: the
+	// extreme write fractions must differ by at least 2x.
+	lo, hi := 1.0, 0.0
+	for _, name := range Names() {
+		spec, _ := ByName(name)
+		tr := Collect(NewGenerator(spec, 1), 50_000)
+		writes := 0
+		for _, a := range tr {
+			if a.Write {
+				writes++
+			}
+		}
+		wf := float64(writes) / float64(len(tr))
+		if wf < lo {
+			lo = wf
+		}
+		if wf > hi {
+			hi = wf
+		}
+	}
+	if hi < 2*lo {
+		t.Fatalf("write fractions not diverse: lo=%.2f hi=%.2f", lo, hi)
+	}
+}
+
+func TestOceanHasPhases(t *testing.T) {
+	spec, _ := ByName("ocean")
+	if len(spec.Phases) < 2 {
+		t.Fatal("ocean must be multi-phase")
+	}
+	if spec.TotalCycleInsts() == 0 {
+		t.Fatal("zero cycle length")
+	}
+	// Windowed MPKI must vary substantially across the phase schedule.
+	g := NewGenerator(spec, 3)
+	var mpkis []float64
+	for w := 0; w < 16; w++ {
+		var insts uint64
+		n := 0
+		for insts < 1_500_000 {
+			a := g.Next()
+			insts += uint64(a.InstGap)
+			n++
+		}
+		mpkis = append(mpkis, float64(n)/float64(insts)*1000)
+	}
+	lo, hi := mpkis[0], mpkis[0]
+	for _, m := range mpkis {
+		if m < lo {
+			lo = m
+		}
+		if m > hi {
+			hi = m
+		}
+	}
+	if hi < 3*lo {
+		t.Fatalf("ocean phase intensity does not vary: lo=%.2f hi=%.2f (%v)", lo, hi, mpkis)
+	}
+}
+
+func TestAddressBaseSeparation(t *testing.T) {
+	spec, _ := ByName("gups")
+	a := NewGeneratorAt(spec, 1, 0)
+	b := NewGeneratorAt(spec, 1, 1<<34)
+	for i := 0; i < 1000; i++ {
+		if a.Next().Addr>>34 == b.Next().Addr>>34 {
+			t.Fatal("address bases must separate cores")
+		}
+	}
+}
+
+func TestPatternKinds(t *testing.T) {
+	if Sequential.String() != "sequential" || Strided.String() != "strided" || Random.String() != "random" {
+		t.Fatal("PatternKind strings wrong")
+	}
+	if PatternKind(9).String() == "" {
+		t.Fatal("unknown pattern must still render")
+	}
+}
+
+func TestSequentialWalksLines(t *testing.T) {
+	spec := Spec{Name: "seq", Phases: []Phase{{
+		Insts: 1 << 40, MPKI: 50, WriteFrac: 0, ColdBytes: 1 << 20, Pattern: Sequential,
+	}}}
+	g := NewGenerator(spec, 1)
+	prev := g.Next().Addr
+	for i := 0; i < 100; i++ {
+		a := g.Next()
+		if a.Addr != prev+LineBytes && a.Addr != coldRegionBase {
+			t.Fatalf("sequential pattern jumped: %#x after %#x", a.Addr, prev)
+		}
+		prev = a.Addr
+	}
+}
+
+func TestMaterialize(t *testing.T) {
+	tr, err := Materialize("stream", 100, 1)
+	if err != nil || len(tr) != 100 {
+		t.Fatalf("Materialize: %v, %d accesses", err, len(tr))
+	}
+	if _, err := Materialize("nope", 10, 1); err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+}
+
+func TestNewGeneratorPanicsOnEmptySpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty spec")
+		}
+	}()
+	NewGenerator(Spec{Name: "empty"}, 1)
+}

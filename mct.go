@@ -1,0 +1,241 @@
+// Package mct is the public API of the Memory Cocktail Therapy library — a
+// reproduction of Deng et al., "Memory Cocktail Therapy: A General
+// Learning-Based Framework to Optimize Dynamic Tradeoffs in NVMs"
+// (MICRO-50, 2017).
+//
+// The library bundles:
+//
+//   - a trace-driven NVM system simulator (synthetic workloads → LLC → a
+//     16-bank ReRAM controller with the mellow-writes technique family:
+//     write cancellation, bank-aware and eager mellow writes, wear quota);
+//   - the Mellow-Writes configuration space (Tables 2–3);
+//   - a from-scratch learning stack (lasso/quadratic regression, gradient
+//     boosting, hierarchical Bayes);
+//   - the MCT runtime: phase detection, cyclic fine-grained sampling,
+//     baseline normalization, constrained optimization, wear-quota fixup
+//     and health checking;
+//   - drivers that regenerate every table and figure of the paper's
+//     evaluation.
+//
+// Quick start:
+//
+//	machine, _ := mct.NewMachine("lbm", mct.StaticBaseline())
+//	rt, _ := mct.NewRuntime(machine, mct.DefaultObjective(8))
+//	result, _ := rt.Run(15_000_000)
+//	fmt.Println(result.Testing.IPC, result.Testing.LifetimeYears)
+//
+// All simulation is deterministic and dependency-free (stdlib only).
+package mct
+
+import (
+	"io"
+
+	"mct/internal/config"
+	"mct/internal/core"
+	"mct/internal/experiments"
+	"mct/internal/sim"
+	"mct/internal/trace"
+)
+
+// Core configuration-space types.
+type (
+	// Config is one point of the Mellow-Writes configuration space.
+	Config = config.Config
+	// Space is an enumerated, indexed configuration space.
+	Space = config.Space
+	// SpaceOptions controls space enumeration.
+	SpaceOptions = config.SpaceOptions
+)
+
+// Simulator types.
+type (
+	// Machine is a single-core simulated system executing one workload.
+	Machine = sim.Machine
+	// MultiMachine is the 4-core shared-memory system of §6.2.5.
+	MultiMachine = sim.MultiMachine
+	// Metrics reports IPC, lifetime and energy for a run or window.
+	Metrics = sim.Metrics
+	// SimOptions configures the simulated system.
+	SimOptions = sim.Options
+	// WorkloadSpec describes a synthetic benchmark.
+	WorkloadSpec = trace.Spec
+)
+
+// MCT runtime types.
+type (
+	// Objective is a user-defined constrained-optimization goal (§3.2).
+	Objective = core.Objective
+	// Constraint bounds one metric within an Objective.
+	Constraint = core.Constraint
+	// Runtime drives MCT over a live machine.
+	Runtime = core.Runtime
+	// RuntimeOptions configures the MCT runtime.
+	RuntimeOptions = core.Options
+	// Result is a runtime execution outcome.
+	Result = core.Result
+	// Decision is one learning outcome (chosen configuration etc.).
+	Decision = core.Decision
+	// Metric indexes the tradeoff space (IPC, lifetime, energy).
+	Metric = core.Metric
+)
+
+// Tradeoff-space metric indices.
+const (
+	MetricIPC      = core.MetricIPC
+	MetricLifetime = core.MetricLifetime
+	MetricEnergy   = core.MetricEnergy
+)
+
+// DefaultConfig returns the paper's "default" system configuration: fast
+// 1× writes, no mellow-writes techniques.
+func DefaultConfig() Config { return config.Default() }
+
+// StaticBaseline returns the best static policy from prior work (the
+// paper's comparison baseline).
+func StaticBaseline() Config { return config.StaticBaseline() }
+
+// EnumerateConfigs returns the full legal configuration space.
+func EnumerateConfigs(opt SpaceOptions) []Config { return config.Enumerate(opt) }
+
+// NewSpace enumerates and indexes the configuration space.
+func NewSpace(opt SpaceOptions) *Space { return config.NewSpace(opt) }
+
+// DefaultObjective returns the paper's objective for a minimum lifetime:
+// minimize energy subject to lifetime ≥ years and IPC ≥ 0.95·max (§3.2).
+func DefaultObjective(years float64) Objective { return core.Default(years) }
+
+// Benchmarks lists the available synthetic workloads (the paper's ten).
+func Benchmarks() []string { return trace.Names() }
+
+// Mixes lists the multi-program workload names of Table 11.
+func Mixes() []string { return trace.MixNames() }
+
+// MixMembers returns the four benchmark names of a Table 11 mix.
+func MixMembers(mix string) ([]string, error) {
+	specs, err := trace.MixByName(mix)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, len(specs))
+	for i, s := range specs {
+		names[i] = s.Name
+	}
+	return names, nil
+}
+
+// DefaultSimOptions returns the Table 8/9 system configuration.
+func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
+
+// DefaultRuntimeOptions returns MCT runtime options scaled to the
+// simulator.
+func DefaultRuntimeOptions() RuntimeOptions { return core.DefaultOptions() }
+
+// NewMachine builds a simulated system running the named benchmark under
+// cfg with default options.
+func NewMachine(benchmark string, cfg Config) (*Machine, error) {
+	return NewMachineOpts(benchmark, cfg, sim.DefaultOptions())
+}
+
+// NewMachineOpts is NewMachine with explicit simulator options.
+func NewMachineOpts(benchmark string, cfg Config, opt SimOptions) (*Machine, error) {
+	spec, err := trace.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewMachine(spec, cfg, opt)
+}
+
+// NewMixMachine builds the 4-core system running a Table 11 mix.
+func NewMixMachine(mix string, cfg Config) (*MultiMachine, error) {
+	specs, err := trace.MixByName(mix)
+	if err != nil {
+		return nil, err
+	}
+	return sim.NewMultiMachine(specs, cfg, sim.DefaultMultiOptions())
+}
+
+// NewRuntime attaches an MCT runtime to a machine with default options.
+func NewRuntime(m *Machine, obj Objective) (*Runtime, error) {
+	return core.New(m, obj, core.DefaultOptions())
+}
+
+// NewRuntimeOpts is NewRuntime with explicit options.
+func NewRuntimeOpts(m *Machine, obj Objective, opt RuntimeOptions) (*Runtime, error) {
+	return core.New(m, obj, opt)
+}
+
+// NewMultiRuntime attaches an MCT runtime to a multi-core machine.
+func NewMultiRuntime(m *MultiMachine, obj Objective, opt RuntimeOptions) (*Runtime, error) {
+	return core.New(core.MultiSystem{MM: m}, obj, opt)
+}
+
+// Evaluate measures one configuration on a benchmark trace of nAccesses
+// LLC accesses. The LLC is warmed before measurement (a cold cache
+// produces no writebacks and meaningless lifetimes); the trace is
+// deterministic, so evaluations of different configurations are directly
+// comparable.
+func Evaluate(benchmark string, nAccesses int, cfg Config) (Metrics, error) {
+	p, err := sim.Prepare(benchmark, 0, nAccesses, sim.DefaultOptions())
+	if err != nil {
+		return Metrics{}, err
+	}
+	return p.Evaluate(cfg)
+}
+
+// EvaluateMany measures several configurations on the identical warmed
+// workload (one warmup shared across evaluations — the cheap way to sweep).
+func EvaluateMany(benchmark string, nAccesses int, cfgs []Config) ([]Metrics, error) {
+	p, err := sim.Prepare(benchmark, 0, nAccesses, sim.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Metrics, len(cfgs))
+	for i, c := range cfgs {
+		m, err := p.Evaluate(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
+}
+
+// Experiment types.
+type (
+	// ExperimentOptions scales the experiment drivers.
+	ExperimentOptions = experiments.Options
+	// ExperimentReport is a rendered experiment artifact.
+	ExperimentReport = experiments.Report
+	// ExperimentRunParams tunes per-experiment knobs.
+	ExperimentRunParams = experiments.RunParams
+)
+
+// Experiments lists the reproducible table/figure identifiers.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table/figure and writes the report
+// to w.
+func RunExperiment(id string, w io.Writer, opt ExperimentOptions, rp ExperimentRunParams) error {
+	rep, err := experiments.Run(id, opt, rp)
+	if err != nil {
+		return err
+	}
+	rep.Fprint(w)
+	return nil
+}
+
+// RunExperimentReport regenerates one paper table/figure and returns the
+// structured report (for JSON output or programmatic use).
+func RunExperimentReport(id string, opt ExperimentOptions, rp ExperimentRunParams) (*ExperimentReport, error) {
+	return experiments.Run(id, opt, rp)
+}
+
+// DefaultExperimentOptions returns full-fidelity experiment settings.
+func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }
+
+// QuickExperimentOptions returns reduced-fidelity settings (strided space,
+// short traces) for fast iteration and tests.
+func QuickExperimentOptions() ExperimentOptions { return experiments.QuickOptions() }
+
+// DefaultExperimentRunParams returns the standard experiment scales.
+func DefaultExperimentRunParams() ExperimentRunParams { return experiments.DefaultRunParams() }
