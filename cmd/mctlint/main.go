@@ -1,0 +1,144 @@
+// Command mctlint runs the simulator-aware static analyzers of
+// internal/analysis over the module and reports findings as
+//
+//	file:line: [rule] message
+//
+// exiting non-zero when anything is found. It is dependency-free (stdlib
+// go/ast + go/types only).
+//
+// Usage:
+//
+//	mctlint ./...              # whole module
+//	mctlint ./internal/...     # one subtree
+//	mctlint ./internal/sim     # one package
+//	mctlint -rules             # list rules and exit
+//
+// Suppress a finding with a trailing comment (or one on the line above):
+//
+//	//mctlint:ignore <rule> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"mct/internal/analysis"
+)
+
+func main() {
+	rules := flag.Bool("rules", false, "list rules and exit")
+	flag.Parse()
+
+	if *rules {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(moduleDir)
+	if err != nil {
+		fatal(err)
+	}
+
+	var paths []string
+	seen := map[string]bool{}
+	for _, arg := range args {
+		ps, err := resolvePattern(loader, moduleDir, arg)
+		if err != nil {
+			fatal(err)
+		}
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				paths = append(paths, p)
+			}
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatal(err)
+		}
+		pass := analysis.NewPass(loader, pkg)
+		for _, d := range analysis.RunAnalyzers(pass, analysis.Analyzers()) {
+			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				d.Pos.Filename = rel
+			}
+			fmt.Println(d)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "mctlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// resolvePattern maps a ./dir or ./dir/... argument to import paths.
+func resolvePattern(loader *analysis.Loader, moduleDir, arg string) ([]string, error) {
+	recursive := false
+	if arg == "..." {
+		arg, recursive = ".", true
+	} else if strings.HasSuffix(arg, "/...") {
+		arg, recursive = strings.TrimSuffix(arg, "/..."), true
+	}
+	abs, err := filepath.Abs(arg)
+	if err != nil {
+		return nil, err
+	}
+	rel, err := filepath.Rel(moduleDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("mctlint: %s is outside module %s", arg, moduleDir)
+	}
+	if recursive {
+		return loader.PackageDirs(abs)
+	}
+	ip := loader.ModulePath()
+	if rel != "." {
+		ip += "/" + filepath.ToSlash(rel)
+	}
+	return []string{ip}, nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("mctlint: no go.mod found above working directory")
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "mctlint: %v\n", err)
+	os.Exit(2)
+}

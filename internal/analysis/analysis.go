@@ -1,0 +1,167 @@
+// Package analysis is a dependency-free static-analysis framework for the
+// MCT tree, built only on the standard library's go/ast, go/parser and
+// go/types (no golang.org/x/tools). It exists because the reproduction's
+// claims rest on the simulator being deterministic and numerically careful:
+// a single draw from math/rand's global source or a silent float-equality
+// branch can shift IPC/lifetime predictions and invalidate the reproduced
+// figure shapes. The cmd/mctlint driver walks the module, runs the
+// registered analyzers over every type-checked package, and reports
+// findings as "file:line: [rule] message".
+//
+// Findings can be suppressed with a directive comment on the offending line
+// or on the line directly above it:
+//
+//	//mctlint:ignore <rule> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported and
+// suppresses nothing.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the driver's output format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Rule, d.Message)
+}
+
+// Pass carries one type-checked package through the analyzers.
+type Pass struct {
+	Fset    *token.FileSet
+	PkgPath string
+	Pkg     *types.Package
+	Files   []*ast.File
+	Info    *types.Info
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name is the rule identifier used in output and ignore directives.
+	Name string
+	// Doc is a one-line description for the driver's -rules listing.
+	Doc string
+	// Run inspects the package and reports findings via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Analyzers returns the default registry: every simulator-aware rule
+// shipped with mctlint.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		NoRandGlobal,
+		FloatEq,
+		UncheckedErr,
+		CycleCast,
+		MutexCopy,
+	}
+}
+
+// ignoreDirective is one parsed //mctlint:ignore comment.
+type ignoreDirective struct {
+	rule   string
+	reason string
+	line   int
+	pos    token.Pos
+}
+
+const ignorePrefix = "mctlint:ignore"
+
+// parseIgnores extracts the ignore directives of a file, reporting
+// malformed ones (missing rule or reason) under the reserved rule name
+// "mctlint". Malformed directives suppress nothing.
+func parseIgnores(pass *Pass, file *ast.File) []ignoreDirective {
+	var out []ignoreDirective
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			if !strings.HasPrefix(text, ignorePrefix) {
+				continue
+			}
+			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				pass.Reportf(c.Pos(), "mctlint",
+					"malformed ignore directive: want //mctlint:ignore <rule> <reason>")
+				continue
+			}
+			out = append(out, ignoreDirective{
+				rule:   fields[0],
+				reason: strings.Join(fields[1:], " "),
+				line:   pass.Fset.Position(c.Pos()).Line,
+				pos:    c.Pos(),
+			})
+		}
+	}
+	return out
+}
+
+// RunAnalyzers runs every analyzer over the package, applies ignore
+// directives, and returns the surviving findings sorted by position.
+func RunAnalyzers(pass *Pass, analyzers []*Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		a.Run(pass)
+	}
+
+	// A directive on line L suppresses matching findings on L and L+1
+	// (trailing comment or comment-above placement).
+	type key struct {
+		file string
+		line int
+		rule string
+	}
+	suppressed := map[key]bool{}
+	for _, f := range pass.Files {
+		fname := pass.Fset.Position(f.Pos()).Filename
+		for _, d := range parseIgnores(pass, f) {
+			suppressed[key{fname, d.line, d.rule}] = true
+			suppressed[key{fname, d.line + 1, d.rule}] = true
+		}
+	}
+
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if d.Rule != "mctlint" && suppressed[key{d.Pos.Filename, d.Pos.Line, d.Rule}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}

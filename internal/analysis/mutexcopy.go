@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// containsLock reports whether a value of type t copied by value would copy
+// a sync.Mutex or sync.RWMutex (directly, or embedded in struct fields or
+// arrays).
+func containsLock(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+func lockByValue(t types.Type) bool {
+	if _, ok := t.(*types.Pointer); ok {
+		return false
+	}
+	return containsLock(t, map[types.Type]bool{})
+}
+
+// copiesExisting reports whether the expression copies an existing value
+// (identifier, field, index, or dereference chains) rather than producing a
+// fresh one (composite literal, function call).
+func copiesExisting(e ast.Expr) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.StarExpr:
+		return true
+	case *ast.ParenExpr:
+		return copiesExisting(x.X)
+	}
+	return false
+}
+
+// MutexCopy flags by-value copies of structs containing sync.Mutex or
+// sync.RWMutex: the copy shares nothing with the original's lock state, so
+// critical sections guarding shared data silently stop excluding each
+// other.
+var MutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "no by-value copies of structs containing sync.Mutex/RWMutex (assignments, params, receivers, returns)",
+	Run: func(pass *Pass) {
+		checkFieldList := func(fl *ast.FieldList, what string) {
+			if fl == nil {
+				return
+			}
+			for _, field := range fl.List {
+				tv, ok := pass.Info.Types[field.Type]
+				if !ok || !lockByValue(tv.Type) {
+					continue
+				}
+				pass.Reportf(field.Type.Pos(), "mutexcopy",
+					"%s passes a lock-containing struct by value; use a pointer", what)
+			}
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncDecl:
+					checkFieldList(x.Recv, "receiver")
+					checkFieldList(x.Type.Params, "parameter")
+					checkFieldList(x.Type.Results, "result")
+				case *ast.AssignStmt:
+					for i, rhs := range x.Rhs {
+						if len(x.Rhs) != len(x.Lhs) {
+							break // f() multi-value: covered by result check
+						}
+						if id, ok := x.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+						tv, ok := pass.Info.Types[rhs]
+						if !ok || !lockByValue(tv.Type) || !copiesExisting(rhs) {
+							continue
+						}
+						pass.Reportf(rhs.Pos(), "mutexcopy",
+							"assignment copies a lock-containing struct by value; use a pointer")
+					}
+				case *ast.GenDecl:
+					for _, spec := range x.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, v := range vs.Values {
+							tv, ok := pass.Info.Types[v]
+							if !ok || !lockByValue(tv.Type) || !copiesExisting(v) {
+								continue
+							}
+							pass.Reportf(v.Pos(), "mutexcopy",
+								"declaration copies a lock-containing struct by value; use a pointer")
+						}
+					}
+				case *ast.RangeStmt:
+					// Ranging over []T or map[K]T with lock-containing T
+					// copies every element.
+					if x.Value == nil {
+						return true
+					}
+					// With :=, the value is a defined ident and lives in
+					// Info.Defs; with =, it is an evaluated expression in
+					// Info.Types.
+					var vt types.Type
+					if tv, ok := pass.Info.Types[x.Value]; ok {
+						vt = tv.Type
+					} else if id, ok := x.Value.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							vt = obj.Type()
+						} else if obj := pass.Info.Uses[id]; obj != nil {
+							vt = obj.Type()
+						}
+					}
+					if vt != nil && lockByValue(vt) {
+						pass.Reportf(x.Value.Pos(), "mutexcopy",
+							"range copies lock-containing struct elements by value; range over indices or pointers")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randGlobalFuncs are the math/rand package-level functions that draw from
+// (or mutate) the process-global source.
+var randGlobalFuncs = map[string]bool{
+	"Float32": true, "Float64": true,
+	"Int": true, "Int31": true, "Int31n": true, "Int63": true, "Int63n": true,
+	"Intn": true, "Uint32": true, "Uint64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true,
+	"NormFloat64": true, "ExpFloat64": true,
+	// math/rand/v2 additions.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "Uint": true, "UintN": true, "Uint32N": true,
+	"Uint64N": true,
+}
+
+// randConstructors mint new sources; library code must instead receive an
+// injected *rand.Rand created by internal/rng (the audited chokepoint).
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true,
+}
+
+func isMathRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+// NoRandGlobal flags draws from math/rand's global source and ad-hoc RNG
+// construction outside tests. Experiments must be a pure function of their
+// seed flags, so all randomness flows through injected *rand.Rand values
+// built by internal/rng.
+var NoRandGlobal = &Analyzer{
+	Name: "norandglobal",
+	Doc:  "no math/rand global-source draws or ad-hoc rand.New/NewSource outside tests; inject a *rand.Rand from internal/rng",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || !isMathRandPkg(fn.Pkg().Path()) {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // method on an injected *rand.Rand: fine
+				}
+				name := fn.Name()
+				switch {
+				case randGlobalFuncs[name]:
+					pass.Reportf(call.Pos(), "norandglobal",
+						"rand.%s draws from the global source; take an injected *rand.Rand (internal/rng) so runs are seed-reproducible", name)
+				case randConstructors[name]:
+					pass.Reportf(call.Pos(), "norandglobal",
+						"rand.%s constructs an ad-hoc source; build streams via internal/rng so all randomness derives from the seed flags", name)
+				}
+				return true
+			})
+		}
+	},
+}

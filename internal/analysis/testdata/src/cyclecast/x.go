@@ -1,0 +1,24 @@
+// Package cyclecast is an analyzer fixture with known violations.
+package cyclecast
+
+func sink(vs ...any) { _ = len(vs) }
+
+func narrowing(cycles uint64, delta int64) {
+	sink(int(cycles))    // want cyclecast
+	sink(int64(cycles))  // want cyclecast
+	sink(uint32(cycles)) // want cyclecast
+	sink(int32(delta))   // want cyclecast
+	sink(uint64(delta))  // want cyclecast
+}
+
+func allowed(cycles uint64, n int, delta int64) {
+	sink(uint64(n))       // non-negative loop-counter idiom
+	sink(int(delta))      // same width and signedness on 64-bit targets
+	sink(float64(cycles)) // float targets are out of scope
+	const k = 1 << 40
+	sink(int(uint64(k))) // constant conversions are compile-checked
+}
+
+func suppressed(cycles uint64) int {
+	return int(cycles % 8) //mctlint:ignore cyclecast remainder is bounded by 8
+}

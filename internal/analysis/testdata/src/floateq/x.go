@@ -1,0 +1,34 @@
+// Package floateq is an analyzer fixture with known violations.
+package floateq
+
+func cmpEq(a, b float64) bool {
+	return a == b // want floateq
+}
+
+func cmpNeq(a, b float32) bool {
+	return a != b // want floateq
+}
+
+func cmpConst(x float64) bool {
+	return x == 1.5 // want floateq
+}
+
+func fieldCmp(v struct{ x, y float64 }) bool {
+	return v.x != v.y // want floateq
+}
+
+func zeroGuard(x float64) bool {
+	return x == 0 && x != 0.0 // comparisons against exact zero are allowed
+}
+
+func intCmp(a, b int) bool {
+	return a == b // integers compare exactly
+}
+
+func ordered(a, b float64) bool {
+	return a < b // ordering operators are fine
+}
+
+func suppressed(a, b float64) bool {
+	return a == b //mctlint:ignore floateq fixture: provenance compare, both sides copied from the same source
+}

@@ -1,0 +1,57 @@
+// Package mutexcopy is an analyzer fixture with known violations.
+package mutexcopy
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+type wrapper struct{ c counter }
+
+func byValueParam(c counter) int { // want mutexcopy
+	return c.n
+}
+
+func (c counter) byValueRecv() int { // want mutexcopy
+	return c.n
+}
+
+func byPointer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func assigns() {
+	var a counter
+	b := a // want mutexcopy
+	b.n++
+
+	var w wrapper
+	w2 := w // want mutexcopy
+	w2.c.n++
+}
+
+func ranges(list []counter) int {
+	total := 0
+	for _, c := range list { // want mutexcopy
+		total += c.n
+	}
+	for i := range list {
+		total += list[i].n
+	}
+	return total
+}
+
+func fresh() *counter {
+	c := counter{n: 1} // composite literals construct, not copy
+	return &c
+}
+
+func suppressed() {
+	var a counter
+	b := a //mctlint:ignore mutexcopy fixture: copied before any goroutine can hold the lock
+	b.n++
+}

@@ -1,0 +1,11 @@
+package norandglobal
+
+import "math/rand"
+
+// missingReason carries a directive without a reason: it is reported as
+// malformed (rule "mctlint") and suppresses nothing, so the violation below
+// still fires.
+func missingReason() float64 {
+	//mctlint:ignore norandglobal
+	return rand.Float64() // want norandglobal
+}

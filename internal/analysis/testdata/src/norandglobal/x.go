@@ -1,0 +1,33 @@
+// Package norandglobal is an analyzer fixture with known violations; the
+// `// want <rule>` markers are asserted by internal/analysis tests.
+package norandglobal
+
+import (
+	"math/rand"
+	mrand "math/rand"
+)
+
+func globals() float64 {
+	rand.Seed(1)        // want norandglobal
+	x := rand.Float64() // want norandglobal
+	n := rand.Intn(10)  // want norandglobal
+	m := mrand.Int63()  // want norandglobal
+	return x + float64(n) + float64(m)
+}
+
+func construct() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want norandglobal norandglobal
+}
+
+func injected(r *rand.Rand) float64 {
+	return r.Float64() + float64(r.Intn(3)) // methods on an injected source are fine
+}
+
+func suppressed() *rand.Rand {
+	return rand.New(rand.NewSource(2)) //mctlint:ignore norandglobal fixture: stands in for the blessed internal/rng constructor
+}
+
+func suppressedAbove() float64 {
+	//mctlint:ignore norandglobal fixture: directive on the line above also suppresses
+	return rand.Float64()
+}

@@ -1,0 +1,52 @@
+// Package uncheckederr is an analyzer fixture with known violations. The
+// tests load it under an internal/ import path so the rule applies.
+package uncheckederr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func value() (int, error) { return 1, nil }
+
+func bareCall() {
+	mayFail() // want uncheckederr
+}
+
+func blankAssign() {
+	_ = mayFail() // want uncheckederr
+}
+
+func blankTuple() {
+	_, _ = value() // want uncheckederr
+}
+
+func deadStore() {
+	x := 1
+	_ = x // want uncheckederr
+}
+
+func checked() error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := value()
+	if v < 0 {
+		return errors.New("negative")
+	}
+	return err
+}
+
+func exempt() string {
+	fmt.Println("best-effort human output is exempt")
+	var sb strings.Builder
+	sb.WriteString("builder errors are nil by contract")
+	return sb.String()
+}
+
+func suppressed() {
+	mayFail() //mctlint:ignore uncheckederr fixture: best-effort, failure is benign by design
+}

@@ -99,7 +99,7 @@ func (c *Cache) ResetStats() {
 
 func (c *Cache) locate(addr uint64) (setIdx int, tag uint64) {
 	lineAddr := addr / LineBytes
-	return int(lineAddr & c.setMask), lineAddr >> uint(log2(c.setCount))
+	return int(lineAddr & c.setMask), lineAddr >> uint(log2(c.setCount)) //mctlint:ignore cyclecast masked value is bounded by the set count
 }
 
 func log2(n int) int {

@@ -10,6 +10,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"mct/internal/floats"
 )
 
 // Metric indexes the tradeoff space of §4.1.2.
@@ -180,7 +182,7 @@ func SelectOptimal(pred [][3]float64, o Objective) (idx int, ok bool) {
 		// Only possible through floating-point edge cases; fall back to
 		// the best-IPC qualified configuration.
 		for i, v := range pred {
-			if o.satisfies(v) && v[MetricIPC] == bestIPC {
+			if o.satisfies(v) && floats.Eq(v[MetricIPC], bestIPC) {
 				return i, true
 			}
 		}

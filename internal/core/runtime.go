@@ -6,6 +6,7 @@ import (
 	"mct/internal/config"
 	"mct/internal/ml"
 	"mct/internal/phase"
+	"mct/internal/rng"
 	"mct/internal/sampling"
 	"mct/internal/sim"
 )
@@ -292,11 +293,13 @@ func (r *Runtime) Baseline() config.Config { return r.baseline }
 
 // plan builds the sample set for this phase.
 func (r *Runtime) plan() sampling.Plan {
+	// A fresh stream per call keeps every phase's plan identical for a
+	// given seed, matching the paper's fixed sample set.
 	switch r.opt.Sampler {
 	case SamplerRandom:
-		return sampling.Random(r.space, r.opt.RandomSamples, r.opt.Seed)
+		return sampling.Random(r.space, r.opt.RandomSamples, rng.New(r.opt.Seed))
 	default:
-		return sampling.FeatureBased(r.space, r.opt.Seed)
+		return sampling.FeatureBased(r.space, rng.New(r.opt.Seed))
 	}
 }
 

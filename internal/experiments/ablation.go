@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mct/internal/config"
 	"mct/internal/core"
 	"mct/internal/ml"
+	"mct/internal/rng"
 	"mct/internal/sim"
 	"mct/internal/stats"
 	"mct/internal/trace"
@@ -47,7 +47,7 @@ func NormalizationAblation(samples, trials int, opt Options) ([]NormalizationAbl
 		}
 		X := sw.Vectors()
 		r := NormalizationAblationResult{Benchmark: bench}
-		rng := rand.New(rand.NewSource(opt.Seed + 31))
+		rng := rng.Derive(opt.Seed, 31)
 		for t := 0; t < 3; t++ {
 			for variant := 0; variant < 2; variant++ {
 				truth := sw.Targets(core.Metric(t), variant == 0)

@@ -129,5 +129,7 @@ func storeSweepToDisk(k sweepKey, s *Sweep) {
 	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return
 	}
-	_ = os.Rename(tmp, filepath.Join(dir, k.filename()))
+	if err := os.Rename(tmp, filepath.Join(dir, k.filename())); err != nil {
+		os.Remove(tmp) //mctlint:ignore uncheckederr best-effort cleanup: the disk cache is an optimization, never a correctness dependency
+	}
 }

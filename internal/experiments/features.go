@@ -8,6 +8,7 @@ import (
 	"mct/internal/config"
 	"mct/internal/core"
 	"mct/internal/ml"
+	"mct/internal/rng"
 	"mct/internal/sampling"
 	"mct/internal/stats"
 )
@@ -161,7 +162,7 @@ func FeatureVsRandomSampling(opt Options) ([]SamplingAccuracyResult, *Report, er
 		for pos, idx := range sw.Indices {
 			posOf[idx] = pos
 		}
-		fbPlan := sampling.FeatureBased(sw.Space, opt.Seed)
+		fbPlan := sampling.FeatureBased(sw.Space, rng.New(opt.Seed))
 		var fbPos []int
 		for _, idx := range fbPlan.Indices {
 			if p, ok := posOf[idx]; ok {
@@ -175,7 +176,7 @@ func FeatureVsRandomSampling(opt Options) ([]SamplingAccuracyResult, *Report, er
 				fbPos = append(fbPos, p)
 			}
 		}
-		rndPlan := sampling.Random(sw.Space, len(fbPos), opt.Seed+9)
+		rndPlan := sampling.Random(sw.Space, len(fbPos), rng.Derive(opt.Seed, 9))
 		var rndPos []int
 		for _, idx := range rndPlan.Indices {
 			if p, ok := posOf[idx]; ok {

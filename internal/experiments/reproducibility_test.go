@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+// TestRunSweepConcurrent hammers RunSweep from goroutines racing on the same
+// and on different keys. Under `go test -race` this audits the sweep cache's
+// locking; the pointer-identity assertions prove single-flight behavior
+// (concurrent callers of one key share one computation).
+func TestRunSweepConcurrent(t *testing.T) {
+	t.Setenv(cacheEnv, "")
+	ResetSweepCache()
+	defer ResetSweepCache()
+	opt := tinyOptions()
+
+	benches := []string{"lbm", "stream"}
+	const perBench = 4
+	n := perBench * len(benches)
+	results := make([]*Sweep, n)
+	errs := make([]error, n)
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = RunSweep(benches[i%len(benches)], false, opt)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		same := results[i%len(benches)]
+		if results[i] != same {
+			t.Errorf("worker %d: got a distinct *Sweep for %s; want the single-flight shared one",
+				i, benches[i%len(benches)])
+		}
+	}
+	if results[0] == results[1] {
+		t.Error("different benchmarks returned the same sweep")
+	}
+	for i, s := range results {
+		if len(s.Indices) == 0 || len(s.Indices) != len(s.Metrics) {
+			t.Fatalf("worker %d: malformed sweep: %d indices, %d metrics",
+				i, len(s.Indices), len(s.Metrics))
+		}
+	}
+}
+
+// TestExperimentReportDeterminism runs a short experiment twice with the
+// same seed in one process (cold caches both times) and asserts the rendered
+// reports are byte-identical — the regression guard for the tree-wide rule
+// that every random draw derives from the seed flags.
+func TestExperimentReportDeterminism(t *testing.T) {
+	t.Setenv(cacheEnv, "")
+	defer ResetSweepCache()
+	opt := tinyOptions()
+	rp := DefaultRunParams()
+	rp.Trials = 1
+
+	render := func() string {
+		ResetSweepCache()
+		rep, err := Run("fig4b", opt, rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rep.Fprint(&buf)
+		return buf.String()
+	}
+
+	first := render()
+	if first == "" {
+		t.Fatal("empty report")
+	}
+	if second := render(); first != second {
+		t.Errorf("same-seed reports differ\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}

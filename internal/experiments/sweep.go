@@ -80,14 +80,24 @@ type sweepKey struct {
 	seed     int64
 }
 
+// sweepEntry is one single-flight cache slot: the first caller of a key runs
+// the computation inside once; concurrent callers of the same key block on
+// once and then share the identical *Sweep.
+type sweepEntry struct {
+	once sync.Once
+	s    *Sweep
+	err  error
+}
+
 var (
 	sweepMu    sync.Mutex
-	sweepCache = map[sweepKey]*Sweep{}
+	sweepCache = map[sweepKey]*sweepEntry{}
 )
 
 // RunSweep evaluates the configuration space (wear quota included when
 // includeWQ) on one benchmark, caching results in-process so experiments
-// sharing a sweep don't recompute it.
+// sharing a sweep don't recompute it. It is safe for concurrent use:
+// callers racing on the same key share a single computation.
 func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
 	key := sweepKey{
 		bench:    benchmark,
@@ -98,12 +108,29 @@ func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
 		seed:     opt.Seed,
 	}
 	sweepMu.Lock()
-	if s, ok := sweepCache[key]; ok {
-		sweepMu.Unlock()
-		return s, nil
+	e, ok := sweepCache[key]
+	if !ok {
+		e = &sweepEntry{}
+		sweepCache[key] = e
 	}
 	sweepMu.Unlock()
 
+	e.once.Do(func() { e.s, e.err = computeSweep(benchmark, includeWQ, key, opt) })
+	if e.err != nil {
+		// Don't cache failures: drop the entry (if it is still ours) so a
+		// later call can retry.
+		sweepMu.Lock()
+		if sweepCache[key] == e {
+			delete(sweepCache, key)
+		}
+		sweepMu.Unlock()
+	}
+	return e.s, e.err
+}
+
+// computeSweep produces the sweep for key: from the optional disk cache if
+// present, otherwise by brute-force evaluation.
+func computeSweep(benchmark string, includeWQ bool, key sweepKey, opt Options) (*Sweep, error) {
 	space := config.NewSpace(config.SpaceOptions{IncludeWearQuota: includeWQ, WearQuotaTarget: opt.LifetimeTarget})
 
 	// Optional cross-process disk cache (MCT_SWEEP_CACHE).
@@ -118,9 +145,6 @@ func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
 		for _, m := range dto.Metrics {
 			s.Metrics = append(s.Metrics, fromDTO(m))
 		}
-		sweepMu.Lock()
-		sweepCache[key] = s
-		sweepMu.Unlock()
 		return s, nil
 	}
 
@@ -154,9 +178,6 @@ func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
 		return nil, err
 	}
 
-	sweepMu.Lock()
-	sweepCache[key] = s
-	sweepMu.Unlock()
 	storeSweepToDisk(key, s)
 	return s, nil
 }
@@ -171,10 +192,11 @@ func baselineAt(target float64) config.Config {
 	return b
 }
 
-// ResetSweepCache clears the in-process sweep cache (tests).
+// ResetSweepCache clears the in-process sweep cache (tests). In-flight
+// computations finish against their old entries and are not re-cached.
 func ResetSweepCache() {
 	sweepMu.Lock()
-	sweepCache = map[sweepKey]*Sweep{}
+	sweepCache = map[sweepKey]*sweepEntry{}
 	sweepMu.Unlock()
 }
 

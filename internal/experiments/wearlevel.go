@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"mct/internal/cache"
+	"mct/internal/rng"
 	"mct/internal/trace"
 	"mct/internal/wearlevel"
 )
@@ -51,7 +52,7 @@ func WearLevelValidation(psi, regionLines int, opt Options) ([]WearLevelResult, 
 		if err != nil {
 			return nil, nil, err
 		}
-		gen := trace.NewGenerator(spec, opt.Seed)
+		gen := trace.NewGenerator(spec, rng.New(opt.Seed))
 		sg := wearlevel.New(regionLines, psi)
 		raw := make([]uint64, regionLines+1)
 		var writes uint64
@@ -65,7 +66,7 @@ func WearLevelValidation(psi, regionLines int, opt Options) ([]WearLevelResult, 
 			a := gen.Next()
 			res := llc.Access(a.Addr, a.Write)
 			if !res.Hit && res.Writeback {
-				line := int((res.WritebackAddr / cache.LineBytes) % uint64(regionLines))
+				line := int((res.WritebackAddr / cache.LineBytes) % uint64(regionLines)) //mctlint:ignore cyclecast remainder is bounded by regionLines
 				sg.OnWrite(line)
 				raw[line]++
 				writes++

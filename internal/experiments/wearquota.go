@@ -2,11 +2,11 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"mct/internal/config"
 	"mct/internal/core"
 	"mct/internal/ml"
+	"mct/internal/rng"
 	"mct/internal/sim"
 	"mct/internal/stats"
 	"mct/internal/trace"
@@ -52,7 +52,7 @@ func WearQuotaAblation(samples, trials int, opt Options) ([]WearQuotaAblationRes
 		r := WearQuotaAblationResult{Benchmark: bench}
 		for variant, sw := range map[int]*Sweep{0: swNo, 1: swWQ} {
 			X := sw.Vectors()
-			rng := rand.New(rand.NewSource(opt.Seed + int64(variant)))
+			rng := rng.Derive(opt.Seed, int64(variant))
 			for t := 0; t < 3; t++ {
 				truth := sw.Targets(core.Metric(t), true)
 				var acc float64

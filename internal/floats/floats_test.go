@@ -1,0 +1,40 @@
+package floats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{0, 0, true},
+		{0, 1e-12, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{1.5, 2.5, false},
+		{1e18, 1e18 * (1 + 1e-12), true},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e300, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(1.0, 1.05, 0.1) {
+		t.Error("EqTol(1, 1.05, 0.1) should hold")
+	}
+	if EqTol(1.0, 1.5, 0.1) {
+		t.Error("EqTol(1, 1.5, 0.1) should not hold")
+	}
+}

@@ -1,6 +1,10 @@
 package ml
 
-import "math/rand"
+import (
+	"math/rand"
+
+	"mct/internal/rng"
+)
 
 // GBoostOptions configures the gradient-boosting ensemble.
 type GBoostOptions struct {
@@ -9,7 +13,11 @@ type GBoostOptions struct {
 	Shrinkage float64 // learning rate
 	Subsample float64 // stochastic row subsampling fraction (Friedman 2002)
 	MinLeaf   int
-	Seed      int64
+	// Rand, when non-nil, is the injected subsampling source; otherwise
+	// each Fit derives a fresh deterministic stream from Seed, so refits
+	// with identical options reproduce identical ensembles.
+	Rand *rand.Rand
+	Seed int64
 }
 
 // DefaultGBoostOptions returns the configuration used by MCT's gradient
@@ -58,7 +66,10 @@ func (g *GBoost) Fit(X [][]float64, y []float64) error {
 		return err
 	}
 	n := len(X)
-	rng := rand.New(rand.NewSource(g.opt.Seed))
+	r := g.opt.Rand
+	if r == nil {
+		r = rng.New(g.opt.Seed)
+	}
 
 	var bias float64
 	for _, v := range y {
@@ -86,7 +97,7 @@ func (g *GBoost) Fit(X [][]float64, y []float64) error {
 	for round := 0; round < g.opt.Trees; round++ {
 		idx := all
 		if sampleSize < n {
-			perm := rng.Perm(n)
+			perm := r.Perm(n)
 			idx = perm[:sampleSize]
 		}
 		t := fitTree(X, resid, idx, topt, 0)

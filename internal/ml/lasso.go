@@ -103,7 +103,7 @@ func (l *Lasso) Fit(X [][]float64, y []float64) error {
 			}
 			rho += colSq[j] * w[j]
 			wNew := softThreshold(rho, nl) / colSq[j]
-			if wNew != w[j] {
+			if wNew != w[j] { //mctlint:ignore floateq exact no-op guard: epsilon would skip real (tiny) coordinate updates and change convergence
 				delta := wNew - w[j]
 				for i := 0; i < n; i++ {
 					r[i] -= delta * Z[i][j]

@@ -39,13 +39,11 @@ func fitTree(X [][]float64, y []float64, idx []int, opt treeOptions, depth int) 
 	}
 
 	// Pre-compute total sums for gain evaluation.
-	var totSum, totSq float64
+	var totSum float64
 	for _, i := range idx {
 		totSum += y[i]
-		totSq += y[i] * y[i]
 	}
 	n := float64(len(idx))
-	totSSE := totSq - totSum*totSum/n
 
 	order := make([]int, len(idx))
 	for _, j := range features {
@@ -56,8 +54,10 @@ func fitTree(X [][]float64, y []float64, idx []int, opt treeOptions, depth int) 
 		for k := 0; k < len(order)-1; k++ {
 			i := order[k]
 			leftSum += y[i]
-			// Can't split between equal feature values.
-			if X[order[k]][j] == X[order[k+1]][j] {
+			// Can't split between equal feature values. The slice is
+			// sorted ascending on feature j, so adjacent values are equal
+			// exactly when the earlier one is not strictly smaller.
+			if !(X[order[k]][j] < X[order[k+1]][j]) {
 				continue
 			}
 			nl := float64(k + 1)
@@ -67,7 +67,7 @@ func fitTree(X [][]float64, y []float64, idx []int, opt treeOptions, depth int) 
 			}
 			rightSum := totSum - leftSum
 			// SSE reduction = total SSE - (left SSE + right SSE); with
-			// fixed totSq this maximizes leftSum²/nl + rightSum²/nr.
+			// the Σy² term fixed this maximizes leftSum²/nl + rightSum²/nr.
 			gain := leftSum*leftSum/nl + rightSum*rightSum/nr - totSum*totSum/n
 			if gain > bestGain {
 				bestGain = gain
@@ -76,7 +76,6 @@ func fitTree(X [][]float64, y []float64, idx []int, opt treeOptions, depth int) 
 			}
 		}
 	}
-	_ = totSSE
 
 	if bestFeat < 0 {
 		return &regTree{value: mean}

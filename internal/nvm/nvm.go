@@ -314,7 +314,7 @@ func (c *Controller) rowOf(addr uint64) uint64 {
 func (c *Controller) bankOf(addr uint64) int {
 	row := c.rowOf(addr)
 	h := row ^ (row >> 4) ^ (row >> 8) ^ (row >> 12) ^ (row >> 16)
-	return int(h % uint64(c.p.Banks))
+	return int(h % uint64(c.p.Banks)) //mctlint:ignore cyclecast remainder is bounded by the bank count
 }
 
 // wearPerWrite returns the line-lifetime fraction consumed by one write at
@@ -465,7 +465,7 @@ func (c *Controller) issueWrite(b int, req writeReq, isEager bool) {
 	switch {
 	case c.forced && c.cfg.WearQuota:
 		c.st.ForcedWrites++
-	case ratio == c.cfg.FastLatency && !isEager:
+	case ratio == c.cfg.FastLatency && !isEager: //mctlint:ignore floateq ratio is assigned verbatim from cfg.FastLatency/SlowLatency; provenance compare is exact
 		c.st.FastWrites++
 	default:
 		c.st.SlowWrites++

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"mct/internal/rng"
 	"mct/internal/trace"
 )
 
@@ -74,7 +75,7 @@ func SimulateReadDisturbSpec(spec trace.Spec, accesses int, cfg ReadDisturbConfi
 	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
-	gen := trace.NewGenerator(spec, seed)
+	gen := trace.NewGenerator(spec, rng.New(seed))
 
 	var m Metrics
 	bankFree := make([]uint64, p.Banks)
@@ -91,7 +92,7 @@ func SimulateReadDisturbSpec(spec trace.Spec, accesses int, cfg ReadDisturbConfi
 		a := gen.Next()
 		now += uint64(a.InstGap / 5)
 		line := a.Addr / 64
-		b := int(line) % p.Banks
+		b := int(line % uint64(p.Banks)) //mctlint:ignore cyclecast remainder is bounded by the bank count
 		start := max64(now, bankFree[b])
 		if a.Write {
 			bankFree[b] = start + p.TWP

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"math"
 
+	"mct/internal/rng"
 	"mct/internal/trace"
 )
 
@@ -139,7 +140,7 @@ func Simulate(benchmark string, accesses int, cfg Config, p Params, seed int64) 
 	if err != nil {
 		return Metrics{}, err
 	}
-	gen := trace.NewGenerator(spec, seed)
+	gen := trace.NewGenerator(spec, rng.New(seed))
 
 	var m Metrics
 	bankFree := make([]uint64, p.Banks)
@@ -167,7 +168,7 @@ func Simulate(benchmark string, accesses int, cfg Config, p Params, seed int64) 
 				if nextScrub > deadline {
 					m.Violations++
 				}
-				b := int(line) % p.Banks
+				b := int(line % uint64(p.Banks)) //mctlint:ignore cyclecast remainder is bounded by the bank count
 				start := max64(bankFree[b], nextScrub)
 				bankFree[b] = start + p.TWP
 				wear += wearPerScrub
@@ -178,7 +179,7 @@ func Simulate(benchmark string, accesses int, cfg Config, p Params, seed int64) 
 		}
 
 		line := a.Addr / 64
-		b := int(line) % p.Banks
+		b := int(line % uint64(p.Banks)) //mctlint:ignore cyclecast remainder is bounded by the bank count
 		start := max64(now, bankFree[b])
 		if a.Write {
 			bankFree[b] = start + writePulse

@@ -1,0 +1,25 @@
+package rng
+
+import "testing"
+
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Int63(), b.Int63(); av != bv {
+			t.Fatalf("draw %d diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestDeriveDecorrelates(t *testing.T) {
+	a, b := Derive(7, 1), Derive(7, 2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Fatal("derived streams with different offsets are identical")
+	}
+}

@@ -8,6 +8,7 @@ package sampling
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -24,8 +25,9 @@ type Plan struct {
 func (p Plan) Len() int { return len(p.Indices) }
 
 // Random draws n distinct configuration indices uniformly from the space.
-func Random(space *config.Space, n int, seed int64) Plan {
-	rng := rand.New(rand.NewSource(seed))
+// The caller injects the random source (internal/rng) so plans are a pure
+// function of the experiment seed.
+func Random(space *config.Space, n int, rng *rand.Rand) Plan {
 	if n > space.Len() {
 		n = space.Len()
 	}
@@ -40,10 +42,9 @@ func Random(space *config.Space, n int, seed int64) Plan {
 // and cancellation level — with the remaining knobs (bank_aware,
 // eager_writebacks) chosen randomly among configurations matching that
 // combination. The paper obtains 77 samples this way; the exact count
-// depends on which combinations exist in the space.
-func FeatureBased(space *config.Space, seed int64) Plan {
-	rng := rand.New(rand.NewSource(seed))
-
+// depends on which combinations exist in the space. The caller injects the
+// random source (internal/rng).
+func FeatureBased(space *config.Space, rng *rand.Rand) Plan {
 	type key struct {
 		fast, slow float64
 		canc       float64
@@ -61,11 +62,17 @@ func FeatureBased(space *config.Space, seed int64) Plan {
 	}
 	sort.Slice(keys, func(a, b int) bool {
 		ka, kb := keys[a], keys[b]
-		if ka.fast != kb.fast {
-			return ka.fast < kb.fast
+		if ka.fast < kb.fast {
+			return true
 		}
-		if ka.slow != kb.slow {
-			return ka.slow < kb.slow
+		if ka.fast > kb.fast {
+			return false
+		}
+		if ka.slow < kb.slow {
+			return true
+		}
+		if ka.slow > kb.slow {
+			return false
 		}
 		return ka.canc < kb.canc
 	})
@@ -98,7 +105,11 @@ func BuildSchedule(totalInsts, unitInsts uint64, n int) (Schedule, error) {
 	if unitInsts == 0 || totalInsts == 0 {
 		return Schedule{}, fmt.Errorf("sampling: zero budget or unit")
 	}
-	rounds := int(totalInsts / (uint64(n) * unitInsts))
+	q := totalInsts / (uint64(n) * unitInsts)
+	if q > math.MaxInt32 {
+		q = math.MaxInt32
+	}
+	rounds := int(q) //mctlint:ignore cyclecast clamped to MaxInt32 above
 	if rounds < 1 {
 		rounds = 1
 	}

@@ -4,13 +4,14 @@ import (
 	"testing"
 
 	"mct/internal/config"
+	"mct/internal/rng"
 )
 
 func space() *config.Space { return config.NewSpace(config.SpaceOptions{}) }
 
 func TestRandomPlan(t *testing.T) {
 	s := space()
-	p := Random(s, 50, 7)
+	p := Random(s, 50, rng.New(7))
 	if p.Len() != 50 {
 		t.Fatalf("plan size %d, want 50", p.Len())
 	}
@@ -28,13 +29,13 @@ func TestRandomPlan(t *testing.T) {
 		}
 	}
 	// Deterministic by seed; different seeds differ.
-	q := Random(s, 50, 7)
+	q := Random(s, 50, rng.New(7))
 	for i := range p.Indices {
 		if p.Indices[i] != q.Indices[i] {
 			t.Fatal("same seed must give the same plan")
 		}
 	}
-	r := Random(s, 50, 8)
+	r := Random(s, 50, rng.New(8))
 	same := 0
 	for i := range p.Indices {
 		if p.Indices[i] == r.Indices[i] {
@@ -45,14 +46,14 @@ func TestRandomPlan(t *testing.T) {
 		t.Fatal("different seeds should differ")
 	}
 	// Oversized request clamps to the space.
-	if Random(s, s.Len()+100, 1).Len() != s.Len() {
+	if Random(s, s.Len()+100, rng.New(1)).Len() != s.Len() {
 		t.Fatal("oversized plan must clamp")
 	}
 }
 
 func TestFeatureBasedPlanCoversPrimaryGrid(t *testing.T) {
 	s := space()
-	p := FeatureBased(s, 42)
+	p := FeatureBased(s, rng.New(42))
 	// One sample per (fast, slow, cancellation) combination present in
 	// the space — the paper gets 77; our grids yield a similar count.
 	if p.Len() < 60 || p.Len() > 100 {
@@ -73,7 +74,7 @@ func TestFeatureBasedPlanCoversPrimaryGrid(t *testing.T) {
 		t.Fatalf("plan covers %d/%d primary-feature combinations", len(got), len(want))
 	}
 	// Deterministic.
-	q := FeatureBased(s, 42)
+	q := FeatureBased(s, rng.New(42))
 	for i := range p.Indices {
 		if p.Indices[i] != q.Indices[i] {
 			t.Fatal("feature-based plan must be deterministic per seed")

@@ -6,6 +6,7 @@ import (
 	"mct/internal/cache"
 	"mct/internal/config"
 	"mct/internal/nvm"
+	"mct/internal/rng"
 	"mct/internal/stats"
 	"mct/internal/trace"
 )
@@ -86,7 +87,7 @@ func NewMultiMachine(specs []trace.Spec, cfg config.Config, opt MultiOptions) (*
 		winStartInsts:  make([]uint64, opt.Cores),
 	}
 	for i, spec := range specs {
-		m.gens[i] = trace.NewGeneratorAt(spec, opt.Seed+int64(i), uint64(i)*coreAddrStride)
+		m.gens[i] = trace.NewGeneratorAt(spec, rng.Derive(opt.Seed, int64(i)), uint64(i)*coreAddrStride)
 	}
 	m.beginWindow()
 	return m, nil

@@ -5,6 +5,7 @@ import (
 
 	"mct/internal/cache"
 	"mct/internal/config"
+	"mct/internal/rng"
 	"mct/internal/trace"
 )
 
@@ -47,7 +48,7 @@ func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, err
 	if err != nil {
 		return nil, err
 	}
-	gen := trace.NewGenerator(spec, opt.Seed)
+	gen := trace.NewGenerator(spec, rng.New(opt.Seed))
 	// Warm the cache; memory-side effects are discarded (the controller
 	// starts fresh per evaluation — its state warms within ~1k accesses).
 	for i := 0; i < warmup; i++ {

@@ -13,6 +13,7 @@ import (
 	"mct/internal/config"
 	"mct/internal/energy"
 	"mct/internal/nvm"
+	"mct/internal/rng"
 	"mct/internal/trace"
 )
 
@@ -161,7 +162,7 @@ func NewMachine(spec trace.Spec, cfg config.Config, opt Options) (*Machine, erro
 	}
 	m := &Machine{
 		opt:  opt,
-		gen:  trace.NewGenerator(spec, opt.Seed),
+		gen:  trace.NewGenerator(spec, rng.New(opt.Seed)),
 		llc:  llc,
 		ctrl: ctrl,
 	}
@@ -383,6 +384,6 @@ func Evaluate(benchmark string, nAccesses int, cfg config.Config, opt Options) (
 	if err != nil {
 		return Metrics{}, err
 	}
-	tr := trace.Collect(trace.NewGenerator(spec, opt.Seed), nAccesses)
+	tr := trace.Collect(trace.NewGenerator(spec, rng.New(opt.Seed)), nAccesses)
 	return EvaluateTrace(tr, spec, cfg, opt)
 }

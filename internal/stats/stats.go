@@ -4,7 +4,11 @@
 // geometric means (used for cross-benchmark aggregation).
 package stats
 
-import "math"
+import (
+	"math"
+
+	"mct/internal/floats"
+)
 
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
@@ -84,7 +88,7 @@ func TScore(mean1, var1 float64, n1 int, mean2, var2 float64, n2 int) float64 {
 	}
 	se := var1/float64(n1) + var2/float64(n2)
 	if se <= 0 {
-		if mean1 == mean2 {
+		if floats.Eq(mean1, mean2) {
 			return 0
 		}
 		return math.Inf(1)

@@ -117,18 +117,23 @@ type Generator struct {
 	addrBase uint64
 }
 
-// NewGenerator returns a deterministic generator for spec seeded with seed.
-func NewGenerator(spec Spec, seed int64) *Generator {
+// NewGenerator returns a deterministic generator for spec drawing from the
+// injected source rng (construct it with internal/rng so the trace is a
+// pure function of the experiment seed).
+func NewGenerator(spec Spec, rng *rand.Rand) *Generator {
 	if len(spec.Phases) == 0 {
 		panic("trace: spec has no phases")
 	}
-	return &Generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	if rng == nil {
+		panic("trace: nil rng; inject a seeded *rand.Rand (internal/rng)")
+	}
+	return &Generator{spec: spec, rng: rng}
 }
 
 // NewGeneratorAt is NewGenerator with the address space offset by base
 // (used to give each core of a multi-program workload a private footprint).
-func NewGeneratorAt(spec Spec, seed int64, base uint64) *Generator {
-	g := NewGenerator(spec, seed)
+func NewGeneratorAt(spec Spec, rng *rand.Rand, base uint64) *Generator {
+	g := NewGenerator(spec, rng)
 	g.addrBase = base
 	return g
 }
@@ -174,7 +179,7 @@ func (g *Generator) Next() Access {
 		if hot < LineBytes {
 			hot = LineBytes
 		}
-		addr = hotRegionBase + uint64(g.rng.Int63n(int64(hot/LineBytes)))*LineBytes
+		addr = hotRegionBase + uint64(g.rng.Int63n(int64(hot/LineBytes)))*LineBytes //mctlint:ignore cyclecast region bytes / LineBytes ≤ 2^58, and Int63n is non-negative; both conversions are lossless
 	} else {
 		cold := ph.ColdBytes
 		if cold < LineBytes {
@@ -192,7 +197,7 @@ func (g *Generator) Next() Access {
 			addr = coldRegionBase + g.coldCursor%cold
 			g.coldCursor += stride
 		case Random:
-			addr = coldRegionBase + uint64(g.rng.Int63n(int64(cold/LineBytes)))*LineBytes
+			addr = coldRegionBase + uint64(g.rng.Int63n(int64(cold/LineBytes)))*LineBytes //mctlint:ignore cyclecast region bytes / LineBytes ≤ 2^58, and Int63n is non-negative; both conversions are lossless
 		}
 	}
 
@@ -218,14 +223,14 @@ func Collect(g *Generator, n int) []Access {
 	return out
 }
 
-// Materialize builds a trace of n accesses for the named benchmark with the
-// given seed. It returns an error for unknown benchmarks.
-func Materialize(name string, n int, seed int64) ([]Access, error) {
+// Materialize builds a trace of n accesses for the named benchmark drawing
+// from the injected source. It returns an error for unknown benchmarks.
+func Materialize(name string, n int, rng *rand.Rand) ([]Access, error) {
 	spec, err := ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return Collect(NewGenerator(spec, seed), n), nil
+	return Collect(NewGenerator(spec, rng), n), nil
 }
 
 // Names returns the registered benchmark names in sorted order.

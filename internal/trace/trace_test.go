@@ -3,6 +3,8 @@ package trace
 import (
 	"testing"
 	"testing/quick"
+
+	"mct/internal/rng"
 )
 
 func TestRegistryNames(t *testing.T) {
@@ -44,14 +46,14 @@ func TestMixes(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	spec, _ := ByName("lbm")
-	a := Collect(NewGenerator(spec, 7), 5000)
-	b := Collect(NewGenerator(spec, 7), 5000)
+	a := Collect(NewGenerator(spec, rng.New(7)), 5000)
+	b := Collect(NewGenerator(spec, rng.New(7)), 5000)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
 		}
 	}
-	c := Collect(NewGenerator(spec, 8), 5000)
+	c := Collect(NewGenerator(spec, rng.New(8)), 5000)
 	same := 0
 	for i := range a {
 		if a[i] == c[i] {
@@ -67,7 +69,7 @@ func TestDeterminism(t *testing.T) {
 func TestAccessInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		spec, _ := ByName("milc")
-		g := NewGenerator(spec, seed)
+		g := NewGenerator(spec, rng.New(seed))
 		for i := 0; i < 2000; i++ {
 			a := g.Next()
 			if a.InstGap < 1 || a.Addr%LineBytes != 0 {
@@ -87,7 +89,7 @@ func TestIntensityMatchesSpec(t *testing.T) {
 	// much).
 	for _, name := range Names() {
 		spec, _ := ByName(name)
-		tr := Collect(NewGenerator(spec, 1), 100_000)
+		tr := Collect(NewGenerator(spec, rng.New(1)), 100_000)
 		var insts uint64
 		var writes int
 		for _, a := range tr {
@@ -117,7 +119,7 @@ func TestWriteFractionDiversity(t *testing.T) {
 	lo, hi := 1.0, 0.0
 	for _, name := range Names() {
 		spec, _ := ByName(name)
-		tr := Collect(NewGenerator(spec, 1), 50_000)
+		tr := Collect(NewGenerator(spec, rng.New(1)), 50_000)
 		writes := 0
 		for _, a := range tr {
 			if a.Write {
@@ -146,7 +148,7 @@ func TestOceanHasPhases(t *testing.T) {
 		t.Fatal("zero cycle length")
 	}
 	// Windowed MPKI must vary substantially across the phase schedule.
-	g := NewGenerator(spec, 3)
+	g := NewGenerator(spec, rng.New(3))
 	var mpkis []float64
 	for w := 0; w < 16; w++ {
 		var insts uint64
@@ -174,8 +176,8 @@ func TestOceanHasPhases(t *testing.T) {
 
 func TestAddressBaseSeparation(t *testing.T) {
 	spec, _ := ByName("gups")
-	a := NewGeneratorAt(spec, 1, 0)
-	b := NewGeneratorAt(spec, 1, 1<<34)
+	a := NewGeneratorAt(spec, rng.New(1), 0)
+	b := NewGeneratorAt(spec, rng.New(1), 1<<34)
 	for i := 0; i < 1000; i++ {
 		if a.Next().Addr>>34 == b.Next().Addr>>34 {
 			t.Fatal("address bases must separate cores")
@@ -196,7 +198,7 @@ func TestSequentialWalksLines(t *testing.T) {
 	spec := Spec{Name: "seq", Phases: []Phase{{
 		Insts: 1 << 40, MPKI: 50, WriteFrac: 0, ColdBytes: 1 << 20, Pattern: Sequential,
 	}}}
-	g := NewGenerator(spec, 1)
+	g := NewGenerator(spec, rng.New(1))
 	prev := g.Next().Addr
 	for i := 0; i < 100; i++ {
 		a := g.Next()
@@ -208,11 +210,11 @@ func TestSequentialWalksLines(t *testing.T) {
 }
 
 func TestMaterialize(t *testing.T) {
-	tr, err := Materialize("stream", 100, 1)
+	tr, err := Materialize("stream", 100, rng.New(1))
 	if err != nil || len(tr) != 100 {
 		t.Fatalf("Materialize: %v, %d accesses", err, len(tr))
 	}
-	if _, err := Materialize("nope", 10, 1); err == nil {
+	if _, err := Materialize("nope", 10, rng.New(1)); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }
@@ -223,5 +225,5 @@ func TestNewGeneratorPanicsOnEmptySpec(t *testing.T) {
 			t.Fatal("expected panic for empty spec")
 		}
 	}()
-	NewGenerator(Spec{Name: "empty"}, 1)
+	NewGenerator(Spec{Name: "empty"}, rng.New(1))
 }
