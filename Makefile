@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race verify
+.PHONY: all build vet lint test race bench-smoke verify
 
 all: verify
 
@@ -21,4 +21,9 @@ test:
 race:
 	$(GO) test -race ./...
 
-verify: build vet lint test race
+# Quick end-to-end check that the mctbench binary still runs an experiment:
+# the parallel-determinism tests exercise the engine, this exercises the CLI.
+bench-smoke:
+	$(GO) run ./cmd/mctbench -experiment space -quick -quiet
+
+verify: build vet lint test race bench-smoke

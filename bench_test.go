@@ -8,6 +8,7 @@ package mct_test
 // at reduced fidelity. For full fidelity run `go run ./cmd/mctbench`.
 
 import (
+	"context"
 	"testing"
 
 	"mct"
@@ -48,7 +49,7 @@ func BenchmarkConfigSpace(b *testing.B) {
 func BenchmarkTable4IdealByLifetime(b *testing.B) {
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.IdealByLifetime("leslie3d", []float64{4, 6, 8, 10}, opt)
+		res, _, err := experiments.IdealByLifetime(context.Background(), "leslie3d", []float64{4, 6, 8, 10}, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +65,7 @@ func BenchmarkFig1IdealVsStatic(b *testing.B) {
 	opt := benchOptions()
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.IdealByApp(opt)
+		res, _, err := experiments.IdealByApp(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -83,7 +84,7 @@ func BenchmarkTable6TopFeatures(b *testing.B) {
 	opt := benchOptions()
 	opt.Benchmarks = []string{"lbm", "leslie3d", "GemsFDTD", "stream"}
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.TopQuadraticFeatures(core.MetricIPC, 3, opt)
+		res, _, err := experiments.TopQuadraticFeatures(context.Background(), core.MetricIPC, 3, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -100,7 +101,7 @@ func BenchmarkFig2ModelComparison(b *testing.B) {
 	opt.Benchmarks = []string{"lbm", "stream", "milc"}
 	var gbAcc float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.ModelComparison([]int{20, 77}, 1, opt)
+		res, _, err := experiments.ModelComparison(context.Background(), []int{20, 77}, 1, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func BenchmarkFig3WearQuotaAblation(b *testing.B) {
 	opt.Benchmarks = []string{"lbm"}
 	var degr float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.WearQuotaAblation(60, 1, opt)
+		res, _, err := experiments.WearQuotaAblation(context.Background(), 60, 1, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,10 +134,10 @@ func BenchmarkFig4FeatureSampling(b *testing.B) {
 	opt := benchOptions()
 	opt.Benchmarks = []string{"lbm", "stream"}
 	for i := 0; i < b.N; i++ {
-		if _, _, err := experiments.LassoCoefficients(opt); err != nil {
+		if _, _, err := experiments.LassoCoefficients(context.Background(), opt); err != nil {
 			b.Fatal(err)
 		}
-		res, _, err := experiments.FeatureVsRandomSampling(opt)
+		res, _, err := experiments.FeatureVsRandomSampling(context.Background(), opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +154,7 @@ func BenchmarkFig6PhaseDetection(b *testing.B) {
 	var detected float64
 	for i := 0; i < b.N; i++ {
 		po := mctPhaseOptions()
-		res, _, err := experiments.PhaseDetection("ocean", 25_000_000, po, opt)
+		res, _, err := experiments.PhaseDetection(context.Background(), "ocean", 25_000_000, po, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -168,7 +169,7 @@ func BenchmarkFig7MCTvsBaselines(b *testing.B) {
 	opt := benchOptions()
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.MCTComparison([]string{ml.NameGBoost}, benchInsts, opt)
+		res, _, err := experiments.MCTComparison(context.Background(), []string{ml.NameGBoost}, benchInsts, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func BenchmarkFig7MCTvsBaselines(b *testing.B) {
 func BenchmarkFig8LifetimeSensitivity(b *testing.B) {
 	opt := benchOptions()
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.LifetimeSensitivity([]string{"lbm", "stream"}, []float64{4, 8, 10}, benchInsts, opt)
+		res, _, err := experiments.LifetimeSensitivity(context.Background(), []string{"lbm", "stream"}, []float64{4, 8, 10}, benchInsts, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func BenchmarkFig9SamplingOverhead(b *testing.B) {
 	opt.Benchmarks = []string{"lbm", "stream"}
 	var sampling float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.SamplingOverhead([]float64{1, 10}, benchInsts, opt)
+		res, _, err := experiments.SamplingOverhead(context.Background(), []float64{1, 10}, benchInsts, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -222,7 +223,7 @@ func BenchmarkFig10MultiProgram(b *testing.B) {
 	opt := benchOptions()
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.MultiProgram([]string{"mix1", "mix3"}, 4_000_000, opt)
+		res, _, err := experiments.MultiProgram(context.Background(), []string{"mix1", "mix3"}, 4_000_000, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -241,7 +242,7 @@ func BenchmarkWearQuotaLearning(b *testing.B) {
 	opt := benchOptions()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.WearQuotaLearning([]string{"lbm"}, benchInsts, opt)
+		res, _, err := experiments.WearQuotaLearning(context.Background(), []string{"lbm"}, benchInsts, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -258,7 +259,7 @@ func BenchmarkAblationNormalization(b *testing.B) {
 	opt.Benchmarks = []string{"lbm"}
 	var gain float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.NormalizationAblation(60, 1, opt)
+		res, _, err := experiments.NormalizationAblation(context.Background(), 60, 1, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -273,7 +274,7 @@ func BenchmarkAblationSettle(b *testing.B) {
 	opt := benchOptions()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.SettleAblation([]string{"lbm"}, benchInsts, opt)
+		res, _, err := experiments.SettleAblation(context.Background(), []string{"lbm"}, benchInsts, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +289,7 @@ func BenchmarkAblationPowerBudget(b *testing.B) {
 	opt := benchOptions()
 	var spread float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.PowerBudgetAblation([]string{"stream"}, []int{2, 16}, opt)
+		res, _, err := experiments.PowerBudgetAblation(context.Background(), []string{"stream"}, []int{2, 16}, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -304,7 +305,7 @@ func BenchmarkWearLevelValidation(b *testing.B) {
 	opt.Benchmarks = []string{"zeusmp", "stream"}
 	var eff float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.WearLevelValidation(100, 1<<12, opt)
+		res, _, err := experiments.WearLevelValidation(context.Background(), 100, 1<<12, opt)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -323,7 +324,7 @@ func BenchmarkExtensionRetention(b *testing.B) {
 	opt := benchOptions()
 	var ofIdeal float64
 	for i := 0; i < b.N; i++ {
-		res, _, err := experiments.RetentionExtension([]string{"stream"}, 8, opt)
+		res, _, err := experiments.RetentionExtension(context.Background(), []string{"stream"}, 8, opt)
 		if err != nil {
 			b.Fatal(err)
 		}

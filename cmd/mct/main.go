@@ -8,15 +8,29 @@
 //	mct -benchmark lbm -lifetime 8 -insts 15000000
 //	mct -benchmark ocean -phases            # with phase detection
 //	mct -mix mix1                           # 4-core multi-program run
+//
+// The reference runs (default system, static baseline) execute concurrently
+// with the MCT run on separate simulated machines; -workers bounds that
+// parallelism. Ctrl-C cancels between simulation stages.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"mct"
+	"mct/internal/engine"
 )
+
+// refRun is one finished reference simulation.
+type refRun struct {
+	label string
+	m     mct.Metrics
+}
 
 func main() {
 	var (
@@ -27,6 +41,7 @@ func main() {
 		insts    = flag.Uint64("insts", 15_000_000, "instructions to execute")
 		model    = flag.String("model", "gboost", "predictor: gboost or quadratic-lasso")
 		phases   = flag.Bool("phases", false, "enable phase detection")
+		workers  = flag.Int("workers", 0, "parallel reference-run workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -36,10 +51,20 @@ func main() {
 		return
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	obj := mct.DefaultObjective(*lifetime)
 	ro := mct.DefaultRuntimeOptions()
 	ro.Model = *model
 	ro.EnablePhaseDetection = *phases
+
+	// Kick off the reference runs (single-core only) so they overlap the
+	// MCT run below; results are collected after the MCT output prints.
+	var refCh chan refResult
+	if *mix == "" {
+		refCh = startReferenceRuns(ctx, *bench, *insts, *workers)
+	}
 
 	var (
 		res mct.Result
@@ -89,25 +114,55 @@ func main() {
 	fmt.Printf("\noverall: IPC=%.3f  lifetime=%.2fy  energy=%.4gJ  (phases=%d, health reverts=%d)\n",
 		res.Overall.IPC, res.Overall.LifetimeYears, res.Overall.EnergyJ, len(res.Phases), res.HealthReverts)
 
-	if *mix == "" {
-		// Reference runs on the identical workload.
-		for _, ref := range []struct {
-			label string
-			cfg   mct.Config
-		}{{"default", mct.DefaultConfig()}, {"static ", mct.StaticBaseline()}} {
-			m, e := mct.NewMachine(*bench, ref.cfg)
-			if e != nil {
-				fail(e)
-			}
-			m.Warmup(60_000)
-			w := m.RunInstructions(*insts)
+	if refCh != nil {
+		ref := <-refCh
+		if ref.err != nil {
+			fail(ref.err)
+		}
+		for _, r := range ref.runs {
 			fmt.Printf("%s: IPC=%.3f  lifetime=%.2fy  energy=%.4gJ\n",
-				ref.label, w.IPC, w.LifetimeYears, w.EnergyJ)
+				r.label, r.m.IPC, r.m.LifetimeYears, r.m.EnergyJ)
 		}
 	}
 }
 
+// refResult carries the reference runs (in presentation order) or the first
+// error.
+type refResult struct {
+	runs []refRun
+	err  error
+}
+
+// startReferenceRuns launches the default-system and static-baseline runs
+// on the identical workload in the background and returns a channel with
+// the ordered results.
+func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers int) chan refResult {
+	refs := []struct {
+		label string
+		cfg   mct.Config
+	}{{"default", mct.DefaultConfig()}, {"static ", mct.StaticBaseline()}}
+
+	ch := make(chan refResult, 1)
+	go func() {
+		runs, err := engine.Map(ctx, len(refs), engine.Options{Workers: workers},
+			func(ctx context.Context, i int) (refRun, error) {
+				m, err := mct.NewMachine(bench, refs[i].cfg)
+				if err != nil {
+					return refRun{}, err
+				}
+				m.Warmup(60_000)
+				return refRun{label: refs[i].label, m: m.RunInstructions(insts)}, nil
+			})
+		ch <- refResult{runs: runs, err: err}
+	}()
+	return ch
+}
+
 func fail(err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "mct: interrupted")
+		os.Exit(130)
+	}
 	fmt.Fprintln(os.Stderr, "mct:", err)
 	os.Exit(1)
 }

@@ -6,14 +6,23 @@
 //
 //	mctbench -experiment fig7              # one experiment, full fidelity
 //	mctbench -experiment all -quick        # everything, reduced fidelity
+//	mctbench -experiment fig1 -workers 8   # bound sweep parallelism
 //	mctbench -list                         # list experiment IDs
+//
+// Ctrl-C cancels gracefully: the current experiment aborts promptly, and
+// sweeps that already completed stay valid in the MCT_SWEEP_CACHE disk
+// cache (entries are written atomically, only after a sweep finishes), so
+// a rerun picks up where the caches left off.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
@@ -29,6 +38,7 @@ func main() {
 		acc     = flag.Int("accesses", 0, "override trace length per evaluation (0 = preset)")
 		insts   = flag.Uint64("insts", 0, "override MCT run length in instructions (0 = preset)")
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		workers = flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		asJSON  = flag.Bool("json", false, "emit structured JSON instead of text tables")
 	)
@@ -40,6 +50,9 @@ func main() {
 		}
 		return
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opt := mct.DefaultExperimentOptions()
 	if *quick {
@@ -54,8 +67,9 @@ func main() {
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
+	opt.Workers = *workers
 	if !*quiet {
-		opt.Progress = os.Stderr
+		opt.Events = mct.TextProgress(os.Stderr)
 	}
 	rp := mct.DefaultExperimentRunParams()
 	if *insts > 0 {
@@ -76,19 +90,16 @@ func main() {
 	for _, id := range ids {
 		start := time.Now()
 		if *asJSON {
-			rep, err := mct.RunExperimentReport(id, opt, rp)
+			rep, err := mct.RunExperimentReportContext(ctx, id, opt, rp)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "mctbench: %s: %v\n", id, err)
-				os.Exit(1)
+				fail(id, err)
 			}
 			if err := enc.Encode(rep); err != nil {
-				fmt.Fprintf(os.Stderr, "mctbench: %s: %v\n", id, err)
-				os.Exit(1)
+				fail(id, err)
 			}
 		} else {
-			if err := mct.RunExperiment(id, os.Stdout, opt, rp); err != nil {
-				fmt.Fprintf(os.Stderr, "mctbench: %s: %v\n", id, err)
-				os.Exit(1)
+			if err := mct.RunExperimentContext(ctx, id, os.Stdout, opt, rp); err != nil {
+				fail(id, err)
 			}
 			fmt.Println()
 		}
@@ -96,4 +107,16 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// fail reports an experiment error and exits. Interruption (ctrl-C) is
+// reported distinctly — completed sweeps remain cached on disk — and uses
+// the conventional 130 exit status.
+func fail(id string, err error) {
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(os.Stderr, "mctbench: %s interrupted; completed sweeps remain cached\n", id)
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "mctbench: %s: %v\n", id, err)
+	os.Exit(1)
 }

@@ -77,6 +77,7 @@ func Analyzers() []*Analyzer {
 		UncheckedErr,
 		CycleCast,
 		MutexCopy,
+		CtxFirst,
 	}
 }
 

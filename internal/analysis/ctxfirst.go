@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// CtxFirst enforces the module's context conventions, introduced with the
+// parallel evaluation engine: a context.Context parameter is always the
+// first parameter and is named ctx (blank _ is allowed for intentionally
+// unused contexts), and internal/ packages never mint their own root
+// contexts with context.Background or context.TODO — a fresh context there
+// cuts the caller's cancellation chain, so ctrl-C would no longer reach the
+// evaluation loops. Root contexts belong in package main and the public
+// facade's compatibility wrappers.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context parameters come first and are named ctx; internal/ packages accept contexts instead of minting them with Background/TODO",
+	Run: func(pass *Pass) {
+		internal := strings.Contains("/"+pass.PkgPath+"/", "/internal/")
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch node := n.(type) {
+				case *ast.FuncType:
+					checkCtxParams(pass, node)
+				case *ast.CallExpr:
+					if !internal {
+						return true
+					}
+					sel, ok := node.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
+					}
+					fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+					if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+						return true
+					}
+					if name := fn.Name(); name == "Background" || name == "TODO" {
+						pass.Reportf(node.Pos(), "ctxfirst",
+							"context.%s mints a fresh context inside internal/, cutting the caller's cancellation chain; accept a ctx parameter instead", name)
+					}
+				}
+				return true
+			})
+		}
+	},
+}
+
+// checkCtxParams reports context.Context parameters that are not in the
+// leading position or carry a name other than ctx/_. It runs on every
+// ast.FuncType, which covers declarations, literals, interface methods and
+// function type declarations alike.
+func checkCtxParams(pass *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	pos := 0
+	for _, field := range ft.Params.List {
+		tv, ok := pass.Info.Types[field.Type]
+		isCtx := ok && isContextType(tv.Type)
+		if isCtx {
+			if pos != 0 {
+				pass.Reportf(field.Pos(), "ctxfirst",
+					"context.Context parameter is not first; move it to the front of the signature")
+			}
+			for _, name := range field.Names {
+				if name.Name != "ctx" && name.Name != "_" {
+					pass.Reportf(name.Pos(), "ctxfirst",
+						"context.Context parameter named %q; name it ctx", name.Name)
+				}
+			}
+		}
+		if n := len(field.Names); n > 0 {
+			pos += n
+		} else {
+			pos++
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package ctxfirst exercises the ctxfirst rule: context.Context parameters
+// come first and are named ctx (or _), and internal packages never mint
+// their own root contexts with Background/TODO.
+package ctxfirst
+
+import "context"
+
+// Good takes ctx first under the canonical name: no findings.
+func Good(ctx context.Context, n int) error {
+	return run(ctx, n)
+}
+
+// Blank is acceptable for an intentionally unused context.
+func Blank(_ context.Context, n int) error {
+	if n < 0 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// Late buries the context behind another parameter.
+func Late(n int, ctx context.Context) error { // want ctxfirst
+	return run(ctx, n)
+}
+
+// Misnamed has the context first but under a different name.
+func Misnamed(c context.Context, n int) error { // want ctxfirst
+	return run(c, n)
+}
+
+// Handler shows the rule also covers function type declarations.
+type Handler func(id string, ctx context.Context) error // want ctxfirst
+
+// Mint builds a fresh context inside internal code, cutting the caller's
+// cancellation chain.
+func Mint(n int) error {
+	return run(context.Background(), n) // want ctxfirst
+}
+
+// MintTODO is the TODO flavor.
+func MintTODO(n int) error {
+	return run(context.TODO(), n) // want ctxfirst
+}
+
+// bootstrap is an audited root: the directive keeps it finding-free, which
+// the fixture test proves by carrying no want marker here.
+func bootstrap(n int) error {
+	return run(context.Background(), n) //mctlint:ignore ctxfirst fixture stand-in for a process entry point owning the root context
+}
+
+// run is a plain ctx-first helper the cases above call into.
+func run(ctx context.Context, n int) error {
+	if n < 0 {
+		return context.Canceled
+	}
+	return ctx.Err()
+}

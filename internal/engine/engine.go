@@ -1,0 +1,179 @@
+// Package engine is the parallel evaluation engine behind the experiment
+// pipeline. The paper's evaluation burned 300,000 CPU-hours on brute-force
+// sweeps; our substitute sweeps are embarrassingly parallel (every
+// sim.Prepared evaluation clones a warmed LLC and replays an immutable
+// trace), so the engine turns those serial loops into bounded worker pools
+// without giving up the tree-wide determinism guarantee: results are
+// returned in input order and depend only on their inputs, never on
+// scheduling.
+//
+// The engine's contract:
+//
+//   - Bounded parallelism: at most Options.Workers tasks run at once
+//     (default runtime.GOMAXPROCS(0)).
+//   - Deterministic results: Map returns results indexed exactly like its
+//     inputs, so downstream reductions see the same order at any worker
+//     count.
+//   - First-error cancellation: one failing task cancels the shared
+//     context; the error reported is the failing task with the lowest
+//     index among those that ran.
+//   - Context cancellation: cancelling ctx stops the pool promptly (no new
+//     tasks start; Map returns ctx.Err()).
+//   - Structured progress: completion counts stream through an optional
+//     callback, serialized and monotone, feeding Event sinks.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// Event is one structured progress notification from the evaluation
+// pipeline. Scope names the coarse task (an experiment ID or "sweep"),
+// Item the fine-grained unit (a benchmark or mix), Done/Total carry
+// completion counts when known (Total 0 otherwise), and Text is the
+// preformatted human-readable line.
+type Event struct {
+	Scope string
+	Item  string
+	Done  int
+	Total int
+	Text  string
+}
+
+// Sink consumes progress events. Sinks must be safe for concurrent use:
+// parallel tasks emit from many goroutines.
+type Sink func(Event)
+
+// TextAdapter returns a Sink that writes each event's preformatted Text
+// line to w — the drop-in replacement for the former `Progress io.Writer`
+// option, reproducing its line output byte-for-byte. Events without Text
+// are dropped. The adapter serializes writes, so interleaved emitters
+// never tear lines.
+func TextAdapter(w io.Writer) Sink {
+	var mu sync.Mutex
+	return func(e Event) {
+		if e.Text == "" {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		fmt.Fprintln(w, e.Text)
+	}
+}
+
+// Options configures one Map call.
+type Options struct {
+	// Workers bounds concurrent task executions; 0 (or negative) means
+	// runtime.GOMAXPROCS(0). Workers=1 degenerates to the serial loop the
+	// engine replaced, executing tasks in input order.
+	Workers int
+
+	// OnDone, when non-nil, observes completion counts after each
+	// successful task. Calls are serialized and strictly monotone
+	// (done = 1, 2, …, total regardless of completion order), so adapters
+	// can thin progress to every Nth completion without missing counts.
+	OnDone func(done, total int)
+}
+
+// workers resolves the effective pool size.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map evaluates fn(ctx, i) for every i in [0, n) on a bounded worker pool
+// and returns the n results in input order. The first task error cancels
+// the pool's context and is returned (when several tasks fail, the one
+// with the lowest index among those that ran wins, keeping error reporting
+// deterministic); cancelling ctx makes Map return ctx.Err() promptly. fn
+// must be safe for concurrent invocation when Workers > 1.
+func Map[T any](ctx context.Context, n int, opt Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	w := opt.workers()
+	if w > n {
+		w = n
+	}
+	out := make([]T, n)
+
+	if w <= 1 {
+		// Serial fast path: identical execution order (and identical
+		// floating-point accumulation order in callers) to the loops the
+		// engine replaced.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+			if opt.OnDone != nil {
+				opt.OnDone(i+1, n)
+			}
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu       sync.Mutex
+		next     int
+		done     int
+		errIdx   = -1
+		firstErr error
+	)
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n || ctx.Err() != nil {
+					return
+				}
+				v, err := fn(ctx, i)
+				mu.Lock()
+				if err != nil {
+					if errIdx < 0 || i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[i] = v
+				done++
+				if opt.OnDone != nil {
+					// Under the lock: OnDone observes a strictly
+					// monotone completion count.
+					opt.OnDone(done, n)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		// No task failed, so the cancellation came from the parent.
+		return nil, err
+	}
+	return out, nil
+}

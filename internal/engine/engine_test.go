@@ -1,0 +1,194 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(context.Background(), 50, Options{Workers: workers},
+			func(ctx context.Context, i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 50 {
+			t.Fatalf("workers=%d: got %d results, want 50", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Errorf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), 64, Options{Workers: workers},
+		func(ctx context.Context, i int) (struct{}, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			cur.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("observed %d concurrent tasks, want at most %d", p, workers)
+	}
+}
+
+func TestMapFirstErrorCancels(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 100, Options{Workers: 4},
+		func(ctx context.Context, i int) (int, error) {
+			calls.Add(1)
+			if i == 3 {
+				return 0, fmt.Errorf("task %d: %w", i, boom)
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if n := calls.Load(); n >= 100 {
+		t.Errorf("all %d tasks ran despite an early error; cancellation did not propagate", n)
+	}
+}
+
+func TestMapSerialErrorShortCircuits(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int
+	_, err := Map(context.Background(), 10, Options{Workers: 1},
+		func(ctx context.Context, i int) (int, error) {
+			calls++
+			if i == 3 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	if calls != 4 {
+		t.Errorf("serial path ran %d tasks after the error at index 3, want exactly 4", calls)
+	}
+}
+
+func TestMapLowestErrorIndexWins(t *testing.T) {
+	// Every task fails; regardless of scheduling, the reported error must be
+	// from the lowest index that actually ran — and index 0 always runs.
+	for trial := 0; trial < 20; trial++ {
+		_, err := Map(context.Background(), 8, Options{Workers: 8},
+			func(ctx context.Context, i int) (int, error) {
+				return 0, fmt.Errorf("task %d failed", i)
+			})
+		if err == nil {
+			t.Fatal("want error")
+		}
+		if got := err.Error(); got != "task 0 failed" {
+			t.Fatalf("trial %d: err = %q, want the lowest-index error %q", trial, got, "task 0 failed")
+		}
+	}
+}
+
+func TestMapParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 10, Options{Workers: 2},
+			func(ctx context.Context, i int) (int, error) {
+				once.Do(func() { close(started) })
+				<-ctx.Done()
+				return 0, ctx.Err()
+			})
+		errCh <- err
+	}()
+	<-started
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	_, err := Map(ctx, 10, Options{Workers: 4},
+		func(ctx context.Context, i int) (int, error) {
+			calls.Add(1)
+			return i, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() != 0 {
+		t.Errorf("%d tasks ran on a pre-cancelled context, want 0", calls.Load())
+	}
+}
+
+func TestMapOnDoneMonotone(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		var mu sync.Mutex
+		var seen []int
+		_, err := Map(context.Background(), 25, Options{
+			Workers: workers,
+			OnDone: func(done, total int) {
+				if total != 25 {
+					t.Errorf("workers=%d: total = %d, want 25", workers, total)
+				}
+				mu.Lock()
+				seen = append(seen, done)
+				mu.Unlock()
+			},
+		}, func(ctx context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(seen) != 25 {
+			t.Fatalf("workers=%d: OnDone called %d times, want 25", workers, len(seen))
+		}
+		for i, d := range seen {
+			if d != i+1 {
+				t.Fatalf("workers=%d: OnDone sequence %v not monotone at position %d", workers, seen, i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(context.Background(), 0, Options{},
+		func(ctx context.Context, i int) (int, error) { return i, nil })
+	if err != nil || out != nil {
+		t.Fatalf("Map(n=0) = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestTextAdapter(t *testing.T) {
+	var buf bytes.Buffer
+	sink := TextAdapter(&buf)
+	sink(Event{Scope: "sweep", Item: "lbm", Done: 500, Total: 4060, Text: "  sweep lbm: 500/4060 configs"})
+	sink(Event{Scope: "sweep", Done: 1, Total: 10}) // no Text: dropped
+	sink(Event{Text: "fig1: sweeping lbm"})
+	want := "  sweep lbm: 500/4060 configs\nfig1: sweeping lbm\n"
+	if got := buf.String(); got != want {
+		t.Errorf("TextAdapter output:\n%q\nwant:\n%q", got, want)
+	}
+}

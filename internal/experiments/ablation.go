@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mct/internal/config"
@@ -28,7 +29,7 @@ type NormalizationAblationResult struct {
 // a fixed lasso penalty, targets on raw physical scales (e.g. joules ≈
 // 10⁻²) are crushed by the regularizer, while baseline-normalized targets
 // (≈1) fit well.
-func NormalizationAblation(samples, trials int, opt Options) ([]NormalizationAblationResult, *Report, error) {
+func NormalizationAblation(ctx context.Context, samples, trials int, opt Options) ([]NormalizationAblationResult, *Report, error) {
 	if samples <= 0 {
 		samples = 77
 	}
@@ -41,7 +42,7 @@ func NormalizationAblation(samples, trials int, opt Options) ([]NormalizationAbl
 		Header: []string{"benchmark", "ipc_norm", "ipc_raw", "life_norm", "life_raw", "en_norm", "en_raw"},
 	}
 	for _, bench := range opt.Benchmarks {
-		sw, err := RunSweep(bench, false, opt)
+		sw, err := RunSweep(ctx, bench, false, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -91,7 +92,7 @@ func NormalizationAblation(samples, trials int, opt Options) ([]NormalizationAbl
 			f3(r.Normalized[0]), f3(r.Raw[0]),
 			f3(r.Normalized[1]), f3(r.Raw[1]),
 			f3(r.Normalized[2]), f3(r.Raw[2]))
-		progress(opt.Progress, "ablation-norm: %s done", bench)
+		emitf(opt, "ablation-norm", bench, "ablation-norm: %s done", bench)
 	}
 	rep := &Report{ID: "ablation-norm", Tables: []Table{tbl}}
 	return results, rep, nil
@@ -109,13 +110,16 @@ type SettleAblationResult struct {
 // choice: without it, queued writes issued under the previous sample's
 // policy contaminate the next sample's labels, degrading the learned
 // decision.
-func SettleAblation(benchmarks []string, totalInsts uint64, opt Options) ([]SettleAblationResult, *Report, error) {
+func SettleAblation(ctx context.Context, benchmarks []string, totalInsts uint64, opt Options) ([]SettleAblationResult, *Report, error) {
 	var results []SettleAblationResult
 	tbl := Table{
 		Title:  "Ablation: sample settle window (testing-period metrics)",
 		Header: []string{"benchmark", "ipc_settle", "ipc_none", "life_settle", "life_none"},
 	}
 	for _, bench := range benchmarks {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		spec, err := trace.ByName(bench)
 		if err != nil {
 			return nil, nil, err
@@ -168,7 +172,7 @@ type PowerBudgetAblationResult struct {
 // substitution (see DESIGN.md): with a small concurrent-write budget, slow
 // writes consume scarce write bandwidth and cost real performance — the
 // tension the mellow-writes techniques negotiate.
-func PowerBudgetAblation(benchmarks []string, budgets []int, opt Options) ([]PowerBudgetAblationResult, *Report, error) {
+func PowerBudgetAblation(ctx context.Context, benchmarks []string, budgets []int, opt Options) ([]PowerBudgetAblationResult, *Report, error) {
 	if len(budgets) == 0 {
 		budgets = []int{2, 4, 8, 16}
 	}
@@ -182,6 +186,9 @@ func PowerBudgetAblation(benchmarks []string, budgets []int, opt Options) ([]Pow
 	slowCfg.SlowLatency = 3.0
 	for _, bench := range benchmarks {
 		for _, budget := range budgets {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			simOpt := opt.Sim
 			simOpt.Seed = opt.Seed
 			simOpt.Params.MaxConcurrentWrites = budget

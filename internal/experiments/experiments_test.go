@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -24,7 +25,7 @@ const tinyInsts = 2_500_000
 func TestRunSweepCachesAndShapes(t *testing.T) {
 	ResetSweepCache()
 	opt := tinyOptions()
-	s1, err := RunSweep("lbm", false, opt)
+	s1, err := RunSweep(context.Background(), "lbm", false, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,7 +37,7 @@ func TestRunSweepCachesAndShapes(t *testing.T) {
 		t.Fatalf("sweep covered %d configs, want %d", len(s1.Indices), wantLen)
 	}
 	// Cached: second call returns the identical object.
-	s2, err := RunSweep("lbm", false, opt)
+	s2, err := RunSweep(context.Background(), "lbm", false, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestRunSweepCachesAndShapes(t *testing.T) {
 		t.Fatal("sweep cache miss for identical key")
 	}
 	// Different key → different sweep.
-	s3, err := RunSweep("lbm", true, opt)
+	s3, err := RunSweep(context.Background(), "lbm", true, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestRunSweepCachesAndShapes(t *testing.T) {
 
 func TestSweepIdealRespectsObjective(t *testing.T) {
 	opt := tinyOptions()
-	sw, err := RunSweep("stream", true, opt)
+	sw, err := RunSweep(context.Background(), "stream", true, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestSweepIdealRespectsObjective(t *testing.T) {
 
 func TestIdealByApp(t *testing.T) {
 	opt := tinyOptions()
-	results, rep, err := IdealByApp(opt)
+	results, rep, err := IdealByApp(context.Background(), opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestIdealByApp(t *testing.T) {
 
 func TestIdealByLifetime(t *testing.T) {
 	opt := tinyOptions()
-	results, _, err := IdealByLifetime("lbm", []float64{4, 8}, opt)
+	results, _, err := IdealByLifetime(context.Background(), "lbm", []float64{4, 8}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestIdealByLifetime(t *testing.T) {
 
 func TestModelComparisonQuick(t *testing.T) {
 	opt := tinyOptions()
-	res, rep, err := ModelComparison([]int{10, 25}, 1, opt)
+	res, rep, err := ModelComparison(context.Background(), []int{10, 25}, 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestModelComparisonQuick(t *testing.T) {
 }
 
 func TestTopQuadraticFeatures(t *testing.T) {
-	results, _, err := TopQuadraticFeatures(core.MetricIPC, 3, tinyOptions())
+	results, _, err := TopQuadraticFeatures(context.Background(), core.MetricIPC, 3, tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestTopQuadraticFeatures(t *testing.T) {
 }
 
 func TestLassoCoefficients(t *testing.T) {
-	results, _, err := LassoCoefficients(tinyOptions())
+	results, _, err := LassoCoefficients(context.Background(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestLassoCoefficients(t *testing.T) {
 }
 
 func TestFeatureVsRandomSampling(t *testing.T) {
-	results, _, err := FeatureVsRandomSampling(tinyOptions())
+	results, _, err := FeatureVsRandomSampling(context.Background(), tinyOptions())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestFeatureVsRandomSampling(t *testing.T) {
 func TestWearQuotaAblation(t *testing.T) {
 	opt := tinyOptions()
 	opt.Benchmarks = []string{"lbm"}
-	results, _, err := WearQuotaAblation(30, 1, opt)
+	results, _, err := WearQuotaAblation(context.Background(), 30, 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,7 +221,7 @@ func TestWearQuotaAblation(t *testing.T) {
 func TestPhaseDetectionExperiment(t *testing.T) {
 	opt := tinyOptions()
 	po := fig6PhaseOptions()
-	res, rep, err := PhaseDetection("ocean", 12_000_000, po, opt)
+	res, rep, err := PhaseDetection(context.Background(), "ocean", 12_000_000, po, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -236,7 +237,7 @@ func TestPhaseDetectionExperiment(t *testing.T) {
 
 func TestMCTComparisonQuick(t *testing.T) {
 	opt := tinyOptions()
-	results, rep, err := MCTComparison([]string{ml.NameGBoost}, tinyInsts, opt)
+	results, rep, err := MCTComparison(context.Background(), []string{ml.NameGBoost}, tinyInsts, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -259,7 +260,7 @@ func TestMCTComparisonQuick(t *testing.T) {
 
 func TestLifetimeSensitivityQuick(t *testing.T) {
 	opt := tinyOptions()
-	results, _, err := LifetimeSensitivity([]string{"lbm"}, []float64{4, 10}, tinyInsts, opt)
+	results, _, err := LifetimeSensitivity(context.Background(), []string{"lbm"}, []float64{4, 10}, tinyInsts, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestLifetimeSensitivityQuick(t *testing.T) {
 func TestSamplingOverheadQuick(t *testing.T) {
 	opt := tinyOptions()
 	opt.Benchmarks = []string{"stream"}
-	results, rep, err := SamplingOverhead([]float64{1, 10}, tinyInsts, opt)
+	results, rep, err := SamplingOverhead(context.Background(), []float64{1, 10}, tinyInsts, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestExtrapolateIPC(t *testing.T) {
 
 func TestMultiProgramQuick(t *testing.T) {
 	opt := tinyOptions()
-	results, rep, err := MultiProgram([]string{"mix3"}, 1_500_000, opt)
+	results, rep, err := MultiProgram(context.Background(), []string{"mix3"}, 1_500_000, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestMultiProgramQuick(t *testing.T) {
 
 func TestWearQuotaLearningQuick(t *testing.T) {
 	opt := tinyOptions()
-	results, _, err := WearQuotaLearning([]string{"lbm"}, tinyInsts, opt)
+	results, _, err := WearQuotaLearning(context.Background(), []string{"lbm"}, tinyInsts, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,11 +349,11 @@ func TestRegistryRunsEverything(t *testing.T) {
 	if len(IDs()) < 10 {
 		t.Fatal("registry too small")
 	}
-	if _, err := Run("nope", tinyOptions(), DefaultRunParams()); err == nil {
+	if _, err := Run(context.Background(), "nope", tinyOptions(), DefaultRunParams()); err == nil {
 		t.Fatal("unknown id must error")
 	}
 	// Run the cheapest entry through the registry for coverage.
-	rep, err := Run("space", tinyOptions(), DefaultRunParams())
+	rep, err := Run(context.Background(), "space", tinyOptions(), DefaultRunParams())
 	if err != nil || rep.ID != "space" {
 		t.Fatalf("registry run failed: %v", err)
 	}
@@ -382,7 +383,7 @@ func TestAverage3(t *testing.T) {
 func TestNormalizationAblation(t *testing.T) {
 	opt := tinyOptions()
 	opt.Benchmarks = []string{"lbm"}
-	res, _, err := NormalizationAblation(25, 1, opt)
+	res, _, err := NormalizationAblation(context.Background(), 25, 1, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -401,7 +402,7 @@ func TestNormalizationAblation(t *testing.T) {
 
 func TestSettleAblation(t *testing.T) {
 	opt := tinyOptions()
-	res, _, err := SettleAblation([]string{"stream"}, tinyInsts, opt)
+	res, _, err := SettleAblation(context.Background(), []string{"stream"}, tinyInsts, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -412,7 +413,7 @@ func TestSettleAblation(t *testing.T) {
 
 func TestPowerBudgetAblation(t *testing.T) {
 	opt := tinyOptions()
-	res, _, err := PowerBudgetAblation([]string{"stream"}, []int{2, 16}, opt)
+	res, _, err := PowerBudgetAblation(context.Background(), []string{"stream"}, []int{2, 16}, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -430,7 +431,7 @@ func TestPowerBudgetAblation(t *testing.T) {
 func TestWearLevelValidation(t *testing.T) {
 	opt := tinyOptions()
 	opt.Benchmarks = []string{"zeusmp", "stream"}
-	res, rep, err := WearLevelValidation(50, 1<<10, opt)
+	res, rep, err := WearLevelValidation(context.Background(), 50, 1<<10, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -457,7 +458,7 @@ func TestWearLevelValidation(t *testing.T) {
 
 func TestRetentionExtension(t *testing.T) {
 	opt := tinyOptions()
-	res, rep, err := RetentionExtension([]string{"stream"}, 8, opt)
+	res, rep, err := RetentionExtension(context.Background(), []string{"stream"}, 8, opt)
 	if err != nil {
 		t.Fatal(err)
 	}

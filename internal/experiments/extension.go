@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mct/internal/core"
@@ -29,7 +30,7 @@ type RetentionExtensionResult struct {
 // RetentionExtension runs the MCT pipeline on the retention-technique
 // space: brute-force the small space for the ideal, then show the learner
 // reaching a near-ideal choice from one third of the measurements.
-func RetentionExtension(benchmarks []string, lifetimeTarget float64, opt Options) ([]RetentionExtensionResult, *Report, error) {
+func RetentionExtension(ctx context.Context, benchmarks []string, lifetimeTarget float64, opt Options) ([]RetentionExtensionResult, *Report, error) {
 	p := retention.DefaultParams()
 	// Only a-priori-valid configurations (scrub interval within the
 	// device's retention at that ratio) enter the space, as a real
@@ -63,6 +64,9 @@ func RetentionExtension(benchmarks []string, lifetimeTarget float64, opt Options
 		measured := make([]retention.Metrics, len(space))
 		preds := make([][3]float64, len(space))
 		for i, c := range space {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			m, err := retention.Simulate(bench, accesses, c, p, opt.Seed)
 			if err != nil {
 				return nil, nil, err
@@ -119,7 +123,7 @@ func RetentionExtension(benchmarks []string, lifetimeTarget float64, opt Options
 			fmt.Sprintf("%.2f/%d", r.Ideal.WriteRatio, r.Ideal.ScrubIntervalCycles),
 			fmt.Sprintf("%.2f/%d", r.Learned.WriteRatio, r.Learned.ScrubIntervalCycles),
 			f4(r.IdealM.Throughput), f4(r.LearnedM.Throughput), f3(r.OfIdealThroughput))
-		progress(opt.Progress, "extension-retention: %s done", bench)
+		emitf(opt, "extension-retention", bench, "extension-retention: %s done", bench)
 	}
 	rep := &Report{ID: "extension-retention", Tables: []Table{tbl}}
 	rep.Notes = append(rep.Notes,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -38,7 +39,7 @@ type TopFeaturesResult struct {
 // TopQuadraticFeatures reproduces Table 6: the most effective quadratic
 // features per application, ranked by the magnitude of quadratic-lasso
 // coefficients fitted on the (compressed-feature) ground truth.
-func TopQuadraticFeatures(metric core.Metric, topN int, opt Options) ([]TopFeaturesResult, *Report, error) {
+func TopQuadraticFeatures(ctx context.Context, metric core.Metric, topN int, opt Options) ([]TopFeaturesResult, *Report, error) {
 	if topN <= 0 {
 		topN = 3
 	}
@@ -49,7 +50,7 @@ func TopQuadraticFeatures(metric core.Metric, topN int, opt Options) ([]TopFeatu
 		Header: []string{"benchmark", "rank", "feature", "weight"},
 	}
 	for _, bench := range opt.Benchmarks {
-		sw, err := RunSweep(bench, false, opt)
+		sw, err := RunSweep(ctx, bench, false, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -98,7 +99,7 @@ type LassoCoefficientsResult struct {
 // eager_writebacks coefficients are near zero for all objectives of all
 // applications, leaving fast_latency, slow_latency and cancellation as the
 // three primary features.
-func LassoCoefficients(opt Options) ([]LassoCoefficientsResult, *Report, error) {
+func LassoCoefficients(ctx context.Context, opt Options) ([]LassoCoefficientsResult, *Report, error) {
 	var results []LassoCoefficientsResult
 	names := config.CompressedNames()
 	tbl := Table{Title: "Figure 4a: linear lasso coefficients (standardized features)"}
@@ -106,7 +107,7 @@ func LassoCoefficients(opt Options) ([]LassoCoefficientsResult, *Report, error) 
 
 	metricNames := []string{"IPC", "lifetime", "energy"}
 	for _, bench := range opt.Benchmarks {
-		sw, err := RunSweep(bench, false, opt)
+		sw, err := RunSweep(ctx, bench, false, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -144,14 +145,14 @@ type SamplingAccuracyResult struct {
 // FeatureVsRandomSampling reproduces Figure 4b: gradient-boosting accuracy
 // when trained on the feature-based sample set versus an equally sized
 // random sample set.
-func FeatureVsRandomSampling(opt Options) ([]SamplingAccuracyResult, *Report, error) {
+func FeatureVsRandomSampling(ctx context.Context, opt Options) ([]SamplingAccuracyResult, *Report, error) {
 	var results []SamplingAccuracyResult
 	tbl := Table{
 		Title:  "Figure 4b: gboost R², feature-based vs random sampling",
 		Header: []string{"benchmark", "n", "ipc_fb", "ipc_rand", "life_fb", "life_rand", "en_fb", "en_rand"},
 	}
 	for _, bench := range opt.Benchmarks {
-		sw, err := RunSweep(bench, false, opt)
+		sw, err := RunSweep(ctx, bench, false, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -221,7 +222,7 @@ func FeatureVsRandomSampling(opt Options) ([]SamplingAccuracyResult, *Report, er
 			f3(r.FeatureBased[0]), f3(r.Random[0]),
 			f3(r.FeatureBased[1]), f3(r.Random[1]),
 			f3(r.FeatureBased[2]), f3(r.Random[2]))
-		progress(opt.Progress, "fig4b: %s done", bench)
+		emitf(opt, "fig4b", bench, "fig4b: %s done", bench)
 	}
 	rep := &Report{ID: "fig4b", Tables: []Table{tbl}}
 	return results, rep, nil

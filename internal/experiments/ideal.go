@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"mct/internal/config"
 	"mct/internal/core"
+	"mct/internal/engine"
 	"mct/internal/sim"
 )
 
@@ -48,10 +51,11 @@ type IdealByAppResult struct {
 // IdealByApp reproduces Table 5 and Figure 1: the brute-force ideal
 // configuration per application under the default objective (lifetime ≥
 // target, IPC within 95% of max, minimize energy), compared against the
-// default system and the best static policy.
-func IdealByApp(opt Options) ([]IdealByAppResult, *Report, error) {
+// default system and the best static policy. Benchmarks are swept
+// concurrently (opt.Workers); rows render in benchmark order, so the report
+// is identical at any worker count.
+func IdealByApp(ctx context.Context, opt Options) ([]IdealByAppResult, *Report, error) {
 	obj := core.Default(opt.LifetimeTarget)
-	var results []IdealByAppResult
 
 	tbl5 := Table{Title: "Table 5: ideal configurations per application", Header: configHeader}
 	tbl5.AddRow(configRow("default", config.Default())...)
@@ -62,23 +66,29 @@ func IdealByApp(opt Options) ([]IdealByAppResult, *Report, error) {
 		Header: []string{"benchmark", "ipc_def", "ipc_base", "ipc_ideal", "life_def(y)", "life_base(y)", "life_ideal(y)", "en_def", "en_base", "en_ideal"},
 	}
 
-	for _, bench := range opt.Benchmarks {
-		progress(opt.Progress, "fig1: sweeping %s", bench)
-		sw, err := RunSweep(bench, true, opt)
-		if err != nil {
-			return nil, nil, err
-		}
-		pos, _ := sw.Ideal(obj)
-		r := IdealByAppResult{
-			Benchmark: bench,
-			Ideal:     sw.Space.At(sw.Indices[pos]),
-			Default:   sw.Default,
-			Baseline:  sw.Baseline,
-			IdealM:    sw.Metrics[pos],
-		}
-		results = append(results, r)
-		tbl5.AddRow(configRow(bench+"_ideal", r.Ideal)...)
-		fig1.AddRow(bench,
+	results, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (IdealByAppResult, error) {
+			bench := opt.Benchmarks[i]
+			emitf(opt, "fig1", bench, "fig1: sweeping %s", bench)
+			sw, err := RunSweep(ctx, bench, true, opt)
+			if err != nil {
+				return IdealByAppResult{}, err
+			}
+			pos, _ := sw.Ideal(obj)
+			return IdealByAppResult{
+				Benchmark: bench,
+				Ideal:     sw.Space.At(sw.Indices[pos]),
+				Default:   sw.Default,
+				Baseline:  sw.Baseline,
+				IdealM:    sw.Metrics[pos],
+			}, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, r := range results {
+		tbl5.AddRow(configRow(r.Benchmark+"_ideal", r.Ideal)...)
+		fig1.AddRow(r.Benchmark,
 			f3(r.Default.IPC/r.Baseline.IPC), "1.000", f3(r.IdealM.IPC/r.Baseline.IPC),
 			f2(r.Default.LifetimeYears), f2(r.Baseline.LifetimeYears), f2(r.IdealM.LifetimeYears),
 			f3(r.Default.EnergyJ/r.Baseline.EnergyJ), "1.000", f3(r.IdealM.EnergyJ/r.Baseline.EnergyJ),
@@ -102,11 +112,11 @@ type IdealByLifetimeResult struct {
 // application (leslie3d in the paper) as the minimum-lifetime constraint
 // sweeps 4→10 years. As in the paper, wear quota is excluded from the
 // explored space for this table.
-func IdealByLifetime(benchmark string, targets []float64, opt Options) ([]IdealByLifetimeResult, *Report, error) {
+func IdealByLifetime(ctx context.Context, benchmark string, targets []float64, opt Options) ([]IdealByLifetimeResult, *Report, error) {
 	var results []IdealByLifetimeResult
 	tbl := Table{Title: "Table 4: ideal configurations vs lifetime target (" + benchmark + ", no wear quota)", Header: configHeader}
 
-	sw, err := RunSweep(benchmark, false, opt)
+	sw, err := RunSweep(ctx, benchmark, false, opt)
 	if err != nil {
 		return nil, nil, err
 	}

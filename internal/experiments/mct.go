@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mct/internal/config"
@@ -71,8 +72,12 @@ func runtimeOptionsFor(model string, totalInsts uint64, seed int64) core.Options
 }
 
 // runMCT executes MCT with the given model on a fresh machine and returns
-// the outcome.
-func runMCT(bench, model string, obj core.Objective, totalInsts uint64, opt Options) (MCTRunOutcome, error) {
+// the outcome. The run itself is one indivisible simulation; ctx is checked
+// before it starts.
+func runMCT(ctx context.Context, bench, model string, obj core.Objective, totalInsts uint64, opt Options) (MCTRunOutcome, error) {
+	if err := ctx.Err(); err != nil {
+		return MCTRunOutcome{}, err
+	}
 	spec, err := trace.ByName(bench)
 	if err != nil {
 		return MCTRunOutcome{}, err
@@ -108,7 +113,7 @@ func runMCT(bench, model string, obj core.Objective, totalInsts uint64, opt Opti
 // MCTComparison reproduces Figure 7 and Table 10: MCT (gradient boosting
 // and quadratic-lasso) against the default system, the best static policy,
 // and the brute-force ideal policy, under the default objective.
-func MCTComparison(models []string, totalInsts uint64, opt Options) ([]MCTComparisonResult, *Report, error) {
+func MCTComparison(ctx context.Context, models []string, totalInsts uint64, opt Options) ([]MCTComparisonResult, *Report, error) {
 	if len(models) == 0 {
 		models = []string{ml.NameGBoost, ml.NameQuadraticLasso}
 	}
@@ -132,8 +137,8 @@ func MCTComparison(models []string, totalInsts uint64, opt Options) ([]MCTCompar
 	ofIdealEnergy := map[string][]float64{}
 
 	for _, bench := range opt.Benchmarks {
-		progress(opt.Progress, "fig7: %s", bench)
-		sw, err := RunSweep(bench, true, opt)
+		emitf(opt, "fig7", bench, "fig7: %s", bench)
+		sw, err := RunSweep(ctx, bench, true, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -147,7 +152,7 @@ func MCTComparison(models []string, totalInsts uint64, opt Options) ([]MCTCompar
 			MCT:         map[string]MCTRunOutcome{},
 		}
 		for _, mn := range models {
-			out, err := runMCT(bench, mn, obj, totalInsts, opt)
+			out, err := runMCT(ctx, bench, mn, obj, totalInsts, opt)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -209,7 +214,7 @@ type LifetimeSensitivityResult struct {
 // years. As in the paper's Table 4 protocol, the brute-force ideal search
 // uses the space without wear quota (sweeping every target's wear-quota
 // space is computationally prohibitive even here).
-func LifetimeSensitivity(benchmarks []string, targets []float64, totalInsts uint64, opt Options) ([]LifetimeSensitivityResult, *Report, error) {
+func LifetimeSensitivity(ctx context.Context, benchmarks []string, targets []float64, totalInsts uint64, opt Options) ([]LifetimeSensitivityResult, *Report, error) {
 	if len(targets) == 0 {
 		targets = []float64{4, 6, 8, 10}
 	}
@@ -219,17 +224,17 @@ func LifetimeSensitivity(benchmarks []string, targets []float64, totalInsts uint
 		Header: []string{"benchmark", "target(y)", "ipc_static", "ipc_mct", "ipc_ideal", "life_mct", "en_static", "en_mct", "en_ideal"},
 	}
 	for _, bench := range benchmarks {
-		sw, err := RunSweep(bench, false, opt)
+		sw, err := RunSweep(ctx, bench, false, opt)
 		if err != nil {
 			return nil, nil, err
 		}
 		for _, t := range targets {
-			progress(opt.Progress, "fig8: %s @ %gy", bench, t)
+			emitf(opt, "fig8", bench, "fig8: %s @ %gy", bench, t)
 			obj := core.Default(t)
 			pos, _ := sw.Ideal(obj)
 			tOpt := opt
 			tOpt.LifetimeTarget = t
-			out, err := runMCT(bench, ml.NameGBoost, obj, totalInsts, tOpt)
+			out, err := runMCT(ctx, bench, ml.NameGBoost, obj, totalInsts, tOpt)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -273,7 +278,7 @@ func ExtrapolateIPC(sampling, testing, alpha float64) float64 {
 // sample configurations during the sampling period, the gains during the
 // testing period, and the extrapolated net gain for testing:sampling
 // ratios α.
-func SamplingOverhead(alphas []float64, totalInsts uint64, opt Options) ([]SamplingOverheadResult, *Report, error) {
+func SamplingOverhead(ctx context.Context, alphas []float64, totalInsts uint64, opt Options) ([]SamplingOverheadResult, *Report, error) {
 	if len(alphas) == 0 {
 		alphas = []float64{1, 2, 5, 10, 20}
 	}
@@ -285,12 +290,12 @@ func SamplingOverhead(alphas []float64, totalInsts uint64, opt Options) ([]Sampl
 		Header: []string{"benchmark", "ipc_sampling", "ipc_testing", "energy_sampling", "energy_testing"},
 	}
 	for _, bench := range opt.Benchmarks {
-		progress(opt.Progress, "fig9: %s", bench)
-		sw, err := RunSweep(bench, true, opt)
+		emitf(opt, "fig9", bench, "fig9: %s", bench)
+		sw, err := RunSweep(ctx, bench, true, opt)
 		if err != nil {
 			return nil, nil, err
 		}
-		out, err := runMCT(bench, ml.NameGBoost, obj, totalInsts, opt)
+		out, err := runMCT(ctx, bench, ml.NameGBoost, obj, totalInsts, opt)
 		if err != nil {
 			return nil, nil, err
 		}

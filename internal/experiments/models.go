@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"mct/internal/core"
+	"mct/internal/engine"
 	"mct/internal/ml"
 	"mct/internal/rng"
 	"mct/internal/stats"
@@ -44,7 +46,13 @@ const hbTaskRows = 300
 // prediction accuracy of all predictors versus the number of runtime
 // samples, plus measured computation overheads. Ground truth is the
 // brute-force sweep; targets are normalized to the baseline configuration.
-func ModelComparison(sampleCounts []int, trials int, opt Options) (*ModelComparisonResult, *Report, error) {
+//
+// The driver fans out across benchmarks twice (sweeps, then per-benchmark
+// accuracy evaluation) on opt.Workers workers. Accuracy is accumulated into
+// per-benchmark partial sums in a fixed within-benchmark order and reduced
+// across benchmarks in input order, so the floating-point result is
+// bit-identical at any worker count.
+func ModelComparison(ctx context.Context, sampleCounts []int, trials int, opt Options) (*ModelComparisonResult, *Report, error) {
 	if len(sampleCounts) == 0 {
 		sampleCounts = []int{10, 20, 40, 77, 120, 160, 200}
 	}
@@ -53,15 +61,22 @@ func ModelComparison(sampleCounts []int, trials int, opt Options) (*ModelCompari
 	}
 	models := modelComparisonModels()
 
-	// Sweeps for every benchmark (ground truth + offline data).
+	// Sweeps for every benchmark (ground truth + offline data). This stage
+	// is a barrier: the leave-one-out training below reads every other
+	// benchmark's sweep, so all must exist before stage two starts (the map
+	// is read-only from then on).
+	sweepList, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (*Sweep, error) {
+			b := opt.Benchmarks[i]
+			emitf(opt, "fig2", b, "fig2: sweeping %s", b)
+			return RunSweep(ctx, b, false, opt)
+		})
+	if err != nil {
+		return nil, nil, err
+	}
 	sweeps := make(map[string]*Sweep, len(opt.Benchmarks))
-	for _, b := range opt.Benchmarks {
-		progress(opt.Progress, "fig2: sweeping %s", b)
-		sw, err := RunSweep(b, false, opt)
-		if err != nil {
-			return nil, nil, err
-		}
-		sweeps[b] = sw
+	for i, b := range opt.Benchmarks {
+		sweeps[b] = sweepList[i]
 	}
 
 	res := &ModelComparisonResult{
@@ -120,79 +135,111 @@ func ModelComparison(sampleCounts []int, trials int, opt Options) (*ModelCompari
 		return ml.NewHierarchicalBayes(ds, 10)
 	}
 
-	counts := map[string]int{} // benchmarks contributing (for averaging)
-	for _, bench := range opt.Benchmarks {
-		sw := sweeps[bench]
-		X := sw.Vectors()
-		var truth [3][]float64
-		for t := 0; t < 3; t++ {
-			truth[t] = sw.Targets(core.Metric(t), true)
-		}
-		rng := rng.Derive(opt.Seed, 77)
-
-		for ci, n := range sampleCounts {
-			// Keep a held-out set: accuracy over zero test rows is
-			// meaningless (strided quick runs have few rows).
-			if maxN := len(X) * 4 / 5; n > maxN {
-				n = maxN
-			}
-			if n < 2 {
-				n = 2
-			}
-			for trial := 0; trial < trials; trial++ {
-				perm := rng.Perm(len(X))
-				trainIdx := perm[:n]
-				trX := make([][]float64, n)
-				for i, p := range trainIdx {
-					trX[i] = X[p]
+	// Per-benchmark accuracy evaluation. Each task accumulates its own
+	// partial sums in the fixed within-benchmark loop order; the reduce
+	// below folds them across benchmarks in input order. (The task derives
+	// its own rng stream, so trials are reproducible per benchmark
+	// regardless of scheduling.)
+	partials, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers},
+		func(ctx context.Context, bi int) (map[string][3][]float64, error) {
+			bench := opt.Benchmarks[bi]
+			part := make(map[string][3][]float64, len(models))
+			for _, m := range models {
+				var acc [3][]float64
+				for t := range acc {
+					acc[t] = make([]float64, len(sampleCounts))
 				}
-				inTrain := make(map[int]bool, n)
-				for _, p := range trainIdx {
-					inTrain[p] = true
-				}
+				part[m] = acc
+			}
 
-				for _, mname := range models {
-					for t := 0; t < 3; t++ {
-						metric := core.Metric(t)
-						trY := make([]float64, n)
-						for i, p := range trainIdx {
-							trY[i] = truth[t][p]
-						}
-						var p ml.Predictor
-						var err error
-						switch mname {
-						case ml.NameOffline:
-							p = buildOffline(bench, metric)
-						case ml.NameHBayes:
-							p, err = buildHBayes(bench, metric, rng)
-						default:
-							p, err = ml.New(mname)
-						}
-						if err != nil {
-							return nil, nil, fmt.Errorf("experiments: %s: %w", mname, err)
-						}
-						if err := p.Fit(trX, trY); err != nil {
-							return nil, nil, fmt.Errorf("experiments: fit %s on %s: %w", mname, bench, err)
-						}
-						var pred, want []float64
-						for i := range X {
-							if inTrain[i] {
-								continue
+			sw := sweeps[bench]
+			X := sw.Vectors()
+			var truth [3][]float64
+			for t := 0; t < 3; t++ {
+				truth[t] = sw.Targets(core.Metric(t), true)
+			}
+			rng := rng.Derive(opt.Seed, 77)
+
+			for ci, n := range sampleCounts {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+				// Keep a held-out set: accuracy over zero test rows is
+				// meaningless (strided quick runs have few rows).
+				if maxN := len(X) * 4 / 5; n > maxN {
+					n = maxN
+				}
+				if n < 2 {
+					n = 2
+				}
+				for trial := 0; trial < trials; trial++ {
+					perm := rng.Perm(len(X))
+					trainIdx := perm[:n]
+					trX := make([][]float64, n)
+					for i, p := range trainIdx {
+						trX[i] = X[p]
+					}
+					inTrain := make(map[int]bool, n)
+					for _, p := range trainIdx {
+						inTrain[p] = true
+					}
+
+					for _, mname := range models {
+						for t := 0; t < 3; t++ {
+							metric := core.Metric(t)
+							trY := make([]float64, n)
+							for i, p := range trainIdx {
+								trY[i] = truth[t][p]
 							}
-							pred = append(pred, p.Predict(X[i]))
-							want = append(want, truth[t][i])
+							var p ml.Predictor
+							var err error
+							switch mname {
+							case ml.NameOffline:
+								p = buildOffline(bench, metric)
+							case ml.NameHBayes:
+								p, err = buildHBayes(bench, metric, rng)
+							default:
+								p, err = ml.New(mname)
+							}
+							if err != nil {
+								return nil, fmt.Errorf("experiments: %s: %w", mname, err)
+							}
+							if err := p.Fit(trX, trY); err != nil {
+								return nil, fmt.Errorf("experiments: fit %s on %s: %w", mname, bench, err)
+							}
+							var pred, want []float64
+							for i := range X {
+								if inTrain[i] {
+									continue
+								}
+								pred = append(pred, p.Predict(X[i]))
+								want = append(want, truth[t][i])
+							}
+							acc := part[mname]
+							acc[t][ci] += stats.R2(pred, want) / float64(trials)
+							part[mname] = acc
 						}
-						acc := res.Acc[mname]
-						acc[t][ci] += stats.R2(pred, want) / float64(trials)
-						res.Acc[mname] = acc
 					}
 				}
 			}
-		}
-		counts["_"]++
-		progress(opt.Progress, "fig2: %s evaluated", bench)
+			emitf(opt, "fig2", bench, "fig2: %s evaluated", bench)
+			return part, nil
+		})
+	if err != nil {
+		return nil, nil, err
 	}
-	nb := float64(counts["_"])
+	nb := float64(len(opt.Benchmarks))
+	for _, part := range partials {
+		for _, mname := range models {
+			acc, p := res.Acc[mname], part[mname]
+			for t := 0; t < 3; t++ {
+				for i := range acc[t] {
+					acc[t][i] += p[t][i]
+				}
+			}
+			res.Acc[mname] = acc
+		}
+	}
 	for _, mname := range models {
 		acc := res.Acc[mname]
 		for t := 0; t < 3; t++ {

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mct/internal/config"
 	"mct/internal/core"
+	"mct/internal/engine"
 	"mct/internal/ml"
 	"mct/internal/sim"
 	"mct/internal/trace"
@@ -26,13 +28,14 @@ const multiWarmupAccesses = 4 * sim.DefaultWarmupAccesses
 // MultiProgram reproduces Table 11 and Figure 10: MCT on a 4-core system
 // running the multi-program mixes, compared to the default system and the
 // static policy. As in the paper, no brute-force ideal is computed for the
-// multi-core space ("computationally intractable").
-func MultiProgram(mixes []string, totalInsts uint64, opt Options) ([]MultiProgramResult, *Report, error) {
+// multi-core space ("computationally intractable"). Mixes run concurrently
+// (opt.Workers); rows render in mix order, so the report is identical at
+// any worker count.
+func MultiProgram(ctx context.Context, mixes []string, totalInsts uint64, opt Options) ([]MultiProgramResult, *Report, error) {
 	if len(mixes) == 0 {
 		mixes = trace.MixNames()
 	}
 	obj := core.Default(opt.LifetimeTarget)
-	var results []MultiProgramResult
 	t11 := Table{Title: "Table 11: multi-program workloads", Header: []string{"mix", "members"}}
 	fig10 := Table{
 		Title:  "Figure 10: multi-core MCT (geomean IPC normalized to static; lifetime in years)",
@@ -42,66 +45,74 @@ func MultiProgram(mixes []string, totalInsts uint64, opt Options) ([]MultiProgra
 	mo := sim.DefaultMultiOptions()
 	mo.Seed = opt.Seed
 
-	var ipcRatios []float64
-	for _, mix := range mixes {
-		progress(opt.Progress, "fig10: %s", mix)
-		specs, err := trace.MixByName(mix)
-		if err != nil {
-			return nil, nil, err
-		}
-		var names []string
-		for _, s := range specs {
-			names = append(names, s.Name)
-		}
-		t11.AddRow(mix, fmt.Sprintf("%v", names))
-
-		runStatic := func(cfg config.Config) (sim.MultiMetrics, error) {
-			mm, err := sim.NewMultiMachine(specs, cfg, mo)
+	results, err := engine.Map(ctx, len(mixes), engine.Options{Workers: opt.Workers},
+		func(ctx context.Context, i int) (MultiProgramResult, error) {
+			mix := mixes[i]
+			emitf(opt, "fig10", mix, "fig10: %s", mix)
+			specs, err := trace.MixByName(mix)
 			if err != nil {
-				return sim.MultiMetrics{}, err
+				return MultiProgramResult{}, err
 			}
-			mm.Warmup(multiWarmupAccesses)
-			return mm.RunInstructions(totalInsts), nil
-		}
-		def, err := runStatic(config.Default())
-		if err != nil {
-			return nil, nil, err
-		}
-		st, err := runStatic(baselineAt(opt.LifetimeTarget))
-		if err != nil {
-			return nil, nil, err
-		}
+			var names []string
+			for _, s := range specs {
+				names = append(names, s.Name)
+			}
 
-		mm, err := sim.NewMultiMachine(specs, config.StaticBaseline(), mo)
-		if err != nil {
-			return nil, nil, err
-		}
-		ro := runtimeOptionsFor(ml.NameGBoost, totalInsts, opt.Seed)
-		ro.WarmupAccesses = multiWarmupAccesses
-		rt, err := core.New(core.MultiSystem{MM: mm}, obj, ro)
-		if err != nil {
-			return nil, nil, err
-		}
-		res, err := rt.Run(totalInsts)
-		if err != nil {
-			return nil, nil, err
-		}
+			runStatic := func(cfg config.Config) (sim.MultiMetrics, error) {
+				mm, err := sim.NewMultiMachine(specs, cfg, mo)
+				if err != nil {
+					return sim.MultiMetrics{}, err
+				}
+				mm.Warmup(multiWarmupAccesses)
+				return mm.RunInstructions(totalInsts), nil
+			}
+			def, err := runStatic(config.Default())
+			if err != nil {
+				return MultiProgramResult{}, err
+			}
+			st, err := runStatic(baselineAt(opt.LifetimeTarget))
+			if err != nil {
+				return MultiProgramResult{}, err
+			}
 
-		r := MultiProgramResult{
-			Mix:     mix,
-			Members: names,
-			Default: def,
-			Static:  st,
-			MCT:     res.Testing,
-		}
-		if n := len(res.Phases); n > 0 {
-			r.Chosen = res.Phases[n-1].Decision.Chosen
-		}
-		results = append(results, r)
-		ipcRatios = append(ipcRatios, r.MCT.IPC/st.IPC)
-		fig10.AddRow(mix,
-			f3(def.IPC/st.IPC), f3(r.MCT.IPC/st.IPC),
-			f2(def.LifetimeYears), f2(st.LifetimeYears), f2(r.MCT.LifetimeYears))
+			mm, err := sim.NewMultiMachine(specs, config.StaticBaseline(), mo)
+			if err != nil {
+				return MultiProgramResult{}, err
+			}
+			ro := runtimeOptionsFor(ml.NameGBoost, totalInsts, opt.Seed)
+			ro.WarmupAccesses = multiWarmupAccesses
+			rt, err := core.New(core.MultiSystem{MM: mm}, obj, ro)
+			if err != nil {
+				return MultiProgramResult{}, err
+			}
+			res, err := rt.Run(totalInsts)
+			if err != nil {
+				return MultiProgramResult{}, err
+			}
+
+			r := MultiProgramResult{
+				Mix:     mix,
+				Members: names,
+				Default: def,
+				Static:  st,
+				MCT:     res.Testing,
+			}
+			if n := len(res.Phases); n > 0 {
+				r.Chosen = res.Phases[n-1].Decision.Chosen
+			}
+			return r, nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var ipcRatios []float64
+	for _, r := range results {
+		t11.AddRow(r.Mix, fmt.Sprintf("%v", r.Members))
+		ipcRatios = append(ipcRatios, r.MCT.IPC/r.Static.IPC)
+		fig10.AddRow(r.Mix,
+			f3(r.Default.IPC/r.Static.IPC), f3(r.MCT.IPC/r.Static.IPC),
+			f2(r.Default.LifetimeYears), f2(r.Static.LifetimeYears), f2(r.MCT.LifetimeYears))
 	}
 	fig10.AddRow("GEOMEAN", "", f3(geoMeanOf(ipcRatios)), "", "", "")
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mct/internal/config"
@@ -27,7 +28,7 @@ type PhaseDetectionResult struct {
 // PhaseDetection reproduces Figure 6: run a workload (ocean in the paper)
 // under the static configuration, observe the memory workload every
 // interval, and record the t-test scores and detected phases.
-func PhaseDetection(benchmark string, totalInsts uint64, po phase.Options, opt Options) (*PhaseDetectionResult, *Report, error) {
+func PhaseDetection(ctx context.Context, benchmark string, totalInsts uint64, po phase.Options, opt Options) (*PhaseDetectionResult, *Report, error) {
 	spec, err := trace.ByName(benchmark)
 	if err != nil {
 		return nil, nil, err
@@ -43,6 +44,9 @@ func PhaseDetection(benchmark string, totalInsts uint64, po phase.Options, opt O
 	res := &PhaseDetectionResult{Benchmark: benchmark}
 	var insts uint64
 	for insts < totalInsts {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		w := m.RunInstructions(po.IntervalInsts)
 		insts += w.Instructions
 		score, newPhase := det.Observe(float64(w.MemReads + w.MemWrites))

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,66 +36,67 @@ func fig6PhaseOptions() phase.Options {
 }
 
 // Run executes one experiment by ID and returns its report. Valid IDs are
-// listed by IDs().
-func Run(id string, opt Options, rp RunParams) (*Report, error) {
+// listed by IDs(). Cancelling ctx aborts the experiment with ctx.Err();
+// opt.Workers bounds the parallelism of its sweeps and driver fan-out.
+func Run(ctx context.Context, id string, opt Options, rp RunParams) (*Report, error) {
 	switch id {
 	case "space":
 		return SpaceSummary(opt), nil
 	case "table4":
 		bench := "leslie3d"
-		_, rep, err := IdealByLifetime(bench, []float64{4, 6, 8, 10}, opt)
+		_, rep, err := IdealByLifetime(ctx, bench, []float64{4, 6, 8, 10}, opt)
 		return rep, err
 	case "fig1", "table5":
-		_, rep, err := IdealByApp(opt)
+		_, rep, err := IdealByApp(ctx, opt)
 		return rep, err
 	case "table6":
-		_, rep, err := TopQuadraticFeatures(0 /* IPC */, 3, opt)
+		_, rep, err := TopQuadraticFeatures(ctx, 0 /* IPC */, 3, opt)
 		return rep, err
 	case "fig2", "table7":
-		_, rep, err := ModelComparison(rp.SampleCounts, rp.Trials, opt)
+		_, rep, err := ModelComparison(ctx, rp.SampleCounts, rp.Trials, opt)
 		return rep, err
 	case "fig3":
-		_, rep, err := WearQuotaAblation(77, rp.Trials, opt)
+		_, rep, err := WearQuotaAblation(ctx, 77, rp.Trials, opt)
 		return rep, err
 	case "fig4a":
-		_, rep, err := LassoCoefficients(opt)
+		_, rep, err := LassoCoefficients(ctx, opt)
 		return rep, err
 	case "fig4", "fig4b":
-		_, rep, err := FeatureVsRandomSampling(opt)
+		_, rep, err := FeatureVsRandomSampling(ctx, opt)
 		return rep, err
 	case "fig6":
-		_, rep, err := PhaseDetection("ocean", 40_000_000, fig6PhaseOptions(), opt)
+		_, rep, err := PhaseDetection(ctx, "ocean", 40_000_000, fig6PhaseOptions(), opt)
 		return rep, err
 	case "fig7", "table10":
-		_, rep, err := MCTComparison([]string{ml.NameGBoost, ml.NameQuadraticLasso}, rp.TotalInsts, opt)
+		_, rep, err := MCTComparison(ctx, []string{ml.NameGBoost, ml.NameQuadraticLasso}, rp.TotalInsts, opt)
 		return rep, err
 	case "fig8":
 		benches := []string{"lbm", "leslie3d", "GemsFDTD", "stream"}
-		_, rep, err := LifetimeSensitivity(benches, []float64{4, 6, 8, 10}, rp.TotalInsts, opt)
+		_, rep, err := LifetimeSensitivity(ctx, benches, []float64{4, 6, 8, 10}, rp.TotalInsts, opt)
 		return rep, err
 	case "fig9":
-		_, rep, err := SamplingOverhead(nil, rp.TotalInsts, opt)
+		_, rep, err := SamplingOverhead(ctx, nil, rp.TotalInsts, opt)
 		return rep, err
 	case "fig10", "table11":
-		_, rep, err := MultiProgram(nil, rp.TotalInsts, opt)
+		_, rep, err := MultiProgram(ctx, nil, rp.TotalInsts, opt)
 		return rep, err
 	case "wq-learning":
-		_, rep, err := WearQuotaLearning([]string{"lbm", "leslie3d"}, rp.TotalInsts, opt)
+		_, rep, err := WearQuotaLearning(ctx, []string{"lbm", "leslie3d"}, rp.TotalInsts, opt)
 		return rep, err
 	case "ablation-norm":
-		_, rep, err := NormalizationAblation(77, rp.Trials, opt)
+		_, rep, err := NormalizationAblation(ctx, 77, rp.Trials, opt)
 		return rep, err
 	case "ablation-settle":
-		_, rep, err := SettleAblation([]string{"lbm", "stream", "gups"}, rp.TotalInsts, opt)
+		_, rep, err := SettleAblation(ctx, []string{"lbm", "stream", "gups"}, rp.TotalInsts, opt)
 		return rep, err
 	case "extension-retention":
-		_, rep, err := RetentionExtension([]string{"lbm", "stream", "zeusmp"}, opt.LifetimeTarget, opt)
+		_, rep, err := RetentionExtension(ctx, []string{"lbm", "stream", "zeusmp"}, opt.LifetimeTarget, opt)
 		return rep, err
 	case "validate-wearlevel":
-		_, rep, err := WearLevelValidation(0, 0, opt)
+		_, rep, err := WearLevelValidation(ctx, 0, 0, opt)
 		return rep, err
 	case "ablation-power":
-		_, rep, err := PowerBudgetAblation([]string{"lbm", "stream", "zeusmp"}, nil, opt)
+		_, rep, err := PowerBudgetAblation(ctx, []string{"lbm", "stream", "zeusmp"}, nil, opt)
 		return rep, err
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())

@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"mct/internal/engine"
 )
 
 // Table is a printable experiment artifact.
@@ -82,9 +84,10 @@ func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
 func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
 func f4(v float64) string { return fmt.Sprintf("%.4f", v) }
 
-// progress writes a progress line when w is non-nil.
-func progress(w io.Writer, format string, args ...any) {
-	if w != nil {
-		fmt.Fprintf(w, format+"\n", args...)
+// emitf sends a formatted progress event to opt.Events when a sink is set.
+// Scope names the experiment, item the benchmark/mix being processed.
+func emitf(opt Options, scope, item, format string, args ...any) {
+	if opt.Events != nil {
+		opt.Events(engine.Event{Scope: scope, Item: item, Text: fmt.Sprintf(format, args...)})
 	}
 }

@@ -2,6 +2,10 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 )
@@ -27,7 +31,7 @@ func TestRunSweepConcurrent(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = RunSweep(benches[i%len(benches)], false, opt)
+			results[i], errs[i] = RunSweep(context.Background(), benches[i%len(benches)], false, opt)
 		}(i)
 	}
 	wg.Wait()
@@ -68,7 +72,7 @@ func TestExperimentReportDeterminism(t *testing.T) {
 
 	render := func() string {
 		ResetSweepCache()
-		rep, err := Run("fig4b", opt, rp)
+		rep, err := Run(context.Background(), "fig4b", opt, rp)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -83,5 +87,123 @@ func TestExperimentReportDeterminism(t *testing.T) {
 	}
 	if second := render(); first != second {
 		t.Errorf("same-seed reports differ\nfirst:\n%s\nsecond:\n%s", first, second)
+	}
+}
+
+// TestParallelDeterminismAcrossWorkers renders fig1 (sweep fan-out across
+// configurations AND across benchmarks) at several worker counts with cold
+// caches and asserts byte-identical reports — the engine's central
+// guarantee: parallelism changes only wall-clock, never results.
+func TestParallelDeterminismAcrossWorkers(t *testing.T) {
+	t.Setenv(cacheEnv, "")
+	defer ResetSweepCache()
+	opt := tinyOptions()
+	rp := DefaultRunParams()
+	rp.Trials = 1
+
+	render := func(workers int) string {
+		ResetSweepCache()
+		o := opt
+		o.Workers = workers
+		rep, err := Run(context.Background(), "fig1", o, rp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		rep.Fprint(&buf)
+		return buf.String()
+	}
+
+	counts := []int{1, 4}
+	if g := runtime.GOMAXPROCS(0); g != 1 && g != 4 {
+		counts = append(counts, g)
+	}
+	want := render(counts[0])
+	if want == "" {
+		t.Fatal("empty report")
+	}
+	for _, w := range counts[1:] {
+		if got := render(w); got != want {
+			t.Errorf("report at Workers=%d differs from Workers=%d\n--- w=%d:\n%s\n--- w=%d:\n%s",
+				w, counts[0], counts[0], want, w, got)
+		}
+	}
+}
+
+// TestRunSweepCancellation checks the cancellation contract: a cancelled
+// context aborts a sweep with ctx.Err(), and both caches stay consistent —
+// an immediate retry with a live context succeeds and writes the disk-cache
+// entry only then.
+func TestRunSweepCancellation(t *testing.T) {
+	dir := t.TempDir()
+	t.Setenv(cacheEnv, dir)
+	ResetSweepCache()
+	defer ResetSweepCache()
+	opt := tinyOptions()
+	opt.Workers = 2
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunSweep(ctx, "lbm", false, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v, want context.Canceled", err)
+	}
+
+	// The failed entry must not poison either cache: a retry recomputes.
+	s, err := RunSweep(context.Background(), "lbm", false, opt)
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if len(s.Indices) == 0 || len(s.Indices) != len(s.Metrics) {
+		t.Fatalf("retry produced malformed sweep: %d indices, %d metrics", len(s.Indices), len(s.Metrics))
+	}
+
+	// And the disk cache written by the successful retry round-trips.
+	ResetSweepCache()
+	s2, err := RunSweep(context.Background(), "lbm", false, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Indices) != len(s.Indices) {
+		t.Fatalf("disk-cache round trip changed sweep size: %d != %d", len(s2.Indices), len(s.Indices))
+	}
+}
+
+// TestSweepKeyIncludesSimOptions is the regression test for the cache-key
+// bug: two Options differing only in sim.Options (here the LLC geometry)
+// must produce distinct cache keys and distinct sweeps — before the fix
+// they silently shared one cached sweep.
+func TestSweepKeyIncludesSimOptions(t *testing.T) {
+	t.Setenv(cacheEnv, "")
+	ResetSweepCache()
+	defer ResetSweepCache()
+
+	a := tinyOptions()
+	b := tinyOptions()
+	b.Sim.CacheBytes = a.Sim.CacheBytes / 2
+
+	ka := sweepKeyFor("lbm", false, a)
+	kb := sweepKeyFor("lbm", false, b)
+	if ka == kb {
+		t.Fatalf("sweep keys identical for different sim.Options: %+v", ka)
+	}
+	if ka.filename() == kb.filename() {
+		t.Fatalf("disk-cache filenames identical for different sim.Options: %s", ka.filename())
+	}
+
+	sa, err := RunSweep(context.Background(), "lbm", false, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := RunSweep(context.Background(), "lbm", false, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sa == sb {
+		t.Fatal("different simulated systems shared one cached *Sweep")
+	}
+	// A smaller LLC must actually change measurements (more writebacks), so
+	// sharing would have been wrong, not just ugly.
+	if fmt.Sprintf("%v", sa.Baseline) == fmt.Sprintf("%v", sb.Baseline) {
+		t.Error("halving the LLC left baseline metrics identical; sim digest may not cover the changed field")
 	}
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"io"
+	"hash/fnv"
 	"sync"
 
 	"mct/internal/config"
 	"mct/internal/core"
+	"mct/internal/engine"
 	"mct/internal/sim"
 	"mct/internal/trace"
 )
@@ -28,8 +30,12 @@ type Options struct {
 	Sim sim.Options
 	// Seed drives workload and sampling randomness.
 	Seed int64
-	// Progress, when non-nil, receives progress lines.
-	Progress io.Writer
+	// Workers bounds the parallelism of sweep and driver fan-out; 0 means
+	// runtime.GOMAXPROCS(0). Results are deterministic at any value.
+	Workers int
+	// Events, when non-nil, receives structured progress events. Use
+	// engine.TextAdapter to recover the former plain-text progress lines.
+	Events engine.Sink
 }
 
 // DefaultOptions returns full-fidelity settings (full space, all
@@ -70,7 +76,10 @@ type Sweep struct {
 	Default  sim.Metrics
 }
 
-// sweepKey identifies a cached sweep.
+// sweepKey identifies a cached sweep. Besides the sweep-shape parameters it
+// carries a digest of the full sim.Options: two callers with different
+// simulated systems (cache geometry, timing, energy model, …) must never
+// share a cached sweep.
 type sweepKey struct {
 	bench    string
 	accesses int
@@ -78,6 +87,32 @@ type sweepKey struct {
 	wq       bool
 	target   float64
 	seed     int64
+	sim      uint64
+}
+
+// simDigest hashes every sim.Options field into a cache-key component.
+// Seed is normalized out because the key carries it separately (Options.Seed
+// overwrites it before Prepare). The digest covers nested value structs
+// (nvm.Params, energy.Model) via their printed representation.
+func simDigest(o sim.Options) uint64 {
+	o.Seed = 0
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", o)
+	return h.Sum64()
+}
+
+// sweepKeyFor builds the cache key RunSweep uses (exported to tests via the
+// package boundary).
+func sweepKeyFor(benchmark string, includeWQ bool, opt Options) sweepKey {
+	return sweepKey{
+		bench:    benchmark,
+		accesses: opt.Accesses,
+		stride:   opt.Stride,
+		wq:       includeWQ,
+		target:   opt.LifetimeTarget,
+		seed:     opt.Seed,
+		sim:      simDigest(opt.Sim),
+	}
 }
 
 // sweepEntry is one single-flight cache slot: the first caller of a key runs
@@ -97,16 +132,14 @@ var (
 // RunSweep evaluates the configuration space (wear quota included when
 // includeWQ) on one benchmark, caching results in-process so experiments
 // sharing a sweep don't recompute it. It is safe for concurrent use:
-// callers racing on the same key share a single computation.
-func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
-	key := sweepKey{
-		bench:    benchmark,
-		accesses: opt.Accesses,
-		stride:   opt.Stride,
-		wq:       includeWQ,
-		target:   opt.LifetimeTarget,
-		seed:     opt.Seed,
-	}
+// callers racing on the same key share a single computation. Configurations
+// are evaluated on a bounded worker pool (opt.Workers); results are
+// identical at any worker count. Cancelling ctx aborts the computation with
+// ctx.Err() and leaves both caches consistent — the failed in-process entry
+// is dropped (a retry recomputes) and nothing partial reaches the disk
+// cache (it is written atomically, only on success).
+func RunSweep(ctx context.Context, benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
+	key := sweepKeyFor(benchmark, includeWQ, opt)
 	sweepMu.Lock()
 	e, ok := sweepCache[key]
 	if !ok {
@@ -115,10 +148,11 @@ func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
 	}
 	sweepMu.Unlock()
 
-	e.once.Do(func() { e.s, e.err = computeSweep(benchmark, includeWQ, key, opt) })
+	e.once.Do(func() { e.s, e.err = computeSweep(ctx, benchmark, includeWQ, key, opt) })
 	if e.err != nil {
 		// Don't cache failures: drop the entry (if it is still ours) so a
-		// later call can retry.
+		// later call can retry. This is also what keeps the in-process
+		// cache consistent across cancellation.
 		sweepMu.Lock()
 		if sweepCache[key] == e {
 			delete(sweepCache, key)
@@ -129,8 +163,8 @@ func RunSweep(benchmark string, includeWQ bool, opt Options) (*Sweep, error) {
 }
 
 // computeSweep produces the sweep for key: from the optional disk cache if
-// present, otherwise by brute-force evaluation.
-func computeSweep(benchmark string, includeWQ bool, key sweepKey, opt Options) (*Sweep, error) {
+// present, otherwise by brute-force evaluation on a worker pool.
+func computeSweep(ctx context.Context, benchmark string, includeWQ bool, key sweepKey, opt Options) (*Sweep, error) {
 	space := config.NewSpace(config.SpaceOptions{IncludeWearQuota: includeWQ, WearQuotaTarget: opt.LifetimeTarget})
 
 	// Optional cross-process disk cache (MCT_SWEEP_CACHE).
@@ -159,18 +193,38 @@ func computeSweep(benchmark string, includeWQ bool, key sweepKey, opt Options) (
 	if stride < 1 {
 		stride = 1
 	}
-	s := &Sweep{Benchmark: benchmark, Space: space}
+	indices := make([]int, 0, (space.Len()+stride-1)/stride)
 	for i := 0; i < space.Len(); i += stride {
-		m, err := prep.Evaluate(space.At(i))
-		if err != nil {
-			return nil, fmt.Errorf("experiments: sweep %s config %d: %w", benchmark, i, err)
-		}
-		s.Indices = append(s.Indices, i)
-		s.Metrics = append(s.Metrics, m)
-		if opt.Progress != nil && len(s.Indices)%500 == 0 {
-			progress(opt.Progress, "  sweep %s: %d/%d configs", benchmark, len(s.Indices), (space.Len()+stride-1)/stride)
+		indices = append(indices, i)
+	}
+
+	eopt := engine.Options{Workers: opt.Workers}
+	if opt.Events != nil {
+		events, total := opt.Events, len(indices)
+		eopt.OnDone = func(done, _ int) {
+			// Same thinning (every 500 completions) and text as the old
+			// serial loop; OnDone counts are monotone at any worker count,
+			// so the emitted lines are byte-identical.
+			if done%500 == 0 {
+				events(engine.Event{
+					Scope: "sweep", Item: benchmark, Done: done, Total: total,
+					Text: fmt.Sprintf("  sweep %s: %d/%d configs", benchmark, done, total),
+				})
+			}
 		}
 	}
+	metrics, err := engine.Map(ctx, len(indices), eopt, func(ctx context.Context, k int) (sim.Metrics, error) {
+		m, err := prep.Evaluate(space.At(indices[k]))
+		if err != nil {
+			return sim.Metrics{}, fmt.Errorf("experiments: sweep %s config %d: %w", benchmark, indices[k], err)
+		}
+		return m, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Sweep{Benchmark: benchmark, Space: space, Indices: indices, Metrics: metrics}
 	if s.Baseline, err = prep.Evaluate(baselineAt(opt.LifetimeTarget)); err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mct/internal/cache"
@@ -28,7 +29,7 @@ type WearLevelResult struct {
 // onto one bank-sized region) through an actual Start-Gap leveler and
 // reports the achieved avg/max wear ratio against the paper's assumed 95%,
 // alongside the unleveled ratio and the gap-movement write overhead.
-func WearLevelValidation(psi, regionLines int, opt Options) ([]WearLevelResult, *Report, error) {
+func WearLevelValidation(ctx context.Context, psi, regionLines int, opt Options) ([]WearLevelResult, *Report, error) {
 	if psi <= 0 {
 		psi = 8
 	}
@@ -44,6 +45,9 @@ func WearLevelValidation(psi, regionLines int, opt Options) ([]WearLevelResult, 
 		Header: []string{"benchmark", "writes", "rotations", "leveled avg/max", "unleveled avg/max", "gap overhead"},
 	}
 	for _, bench := range opt.Benchmarks {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		spec, err := trace.ByName(bench)
 		if err != nil {
 			return nil, nil, err
@@ -84,7 +88,7 @@ func WearLevelValidation(psi, regionLines int, opt Options) ([]WearLevelResult, 
 		results = append(results, r)
 		rotations := float64(sg.GapMoves()) / float64(regionLines+1)
 		tbl.AddRow(bench, fmt.Sprintf("%d", writes), f2(rotations), f3(r.Leveled), f3(r.Unleveled), f3(r.OverheadFrac))
-		progress(opt.Progress, "wearlevel: %s done", bench)
+		emitf(opt, "validate-wearlevel", bench, "wearlevel: %s done", bench)
 	}
 	rep := &Report{ID: "validate-wearlevel", Tables: []Table{tbl}}
 	rep.Notes = append(rep.Notes,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"mct/internal/config"
@@ -26,7 +27,7 @@ type WearQuotaAblationResult struct {
 // configuration space makes the targets harder to predict (the paper
 // observes a 2–6% accuracy degradation), which is why MCT excludes it from
 // learning and re-adds it as a fixup.
-func WearQuotaAblation(samples, trials int, opt Options) ([]WearQuotaAblationResult, *Report, error) {
+func WearQuotaAblation(ctx context.Context, samples, trials int, opt Options) ([]WearQuotaAblationResult, *Report, error) {
 	if samples <= 0 {
 		samples = 77
 	}
@@ -40,12 +41,12 @@ func WearQuotaAblation(samples, trials int, opt Options) ([]WearQuotaAblationRes
 	}
 
 	for _, bench := range opt.Benchmarks {
-		progress(opt.Progress, "fig3: %s", bench)
-		swNo, err := RunSweep(bench, false, opt)
+		emitf(opt, "fig3", bench, "fig3: %s", bench)
+		swNo, err := RunSweep(ctx, bench, false, opt)
 		if err != nil {
 			return nil, nil, err
 		}
-		swWQ, err := RunSweep(bench, true, opt)
+		swWQ, err := RunSweep(ctx, bench, true, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -114,13 +115,16 @@ type WearQuotaLearningResult struct {
 
 // WearQuotaLearning reproduces §6.2.3's end-to-end comparison on the given
 // benchmarks (the paper reports lbm and leslie3d).
-func WearQuotaLearning(benchmarks []string, totalInsts uint64, opt Options) ([]WearQuotaLearningResult, *Report, error) {
+func WearQuotaLearning(ctx context.Context, benchmarks []string, totalInsts uint64, opt Options) ([]WearQuotaLearningResult, *Report, error) {
 	var results []WearQuotaLearningResult
 	tbl := Table{
 		Title:  "§6.2.3: MCT testing-period metrics, wear quota excluded vs included in learning",
 		Header: []string{"benchmark", "ipc_excl", "ipc_incl", "life_excl", "life_incl", "en_excl", "en_incl"},
 	}
 	for _, bench := range benchmarks {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		spec, err := trace.ByName(bench)
 		if err != nil {
 			return nil, nil, err
@@ -156,7 +160,7 @@ func WearQuotaLearning(benchmarks []string, totalInsts uint64, opt Options) ([]W
 		tbl.AddRow(bench, f3(excl.IPC), f3(incl.IPC),
 			f2(excl.LifetimeYears), f2(incl.LifetimeYears),
 			fmt.Sprintf("%.4g", excl.EnergyJ), fmt.Sprintf("%.4g", incl.EnergyJ))
-		progress(opt.Progress, "wq-learning: %s done", bench)
+		emitf(opt, "wq-learning", bench, "wq-learning: %s done", bench)
 	}
 	rep := &Report{ID: "wq-learning", Tables: []Table{tbl}}
 	return results, rep, nil

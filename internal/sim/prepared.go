@@ -19,6 +19,14 @@ const DefaultWarmupAccesses = 60_000
 // of the NVM configuration), and every evaluation clones the warmed cache
 // and replays the identical measurement trace. This is what makes
 // brute-force sweeps of thousands of configurations affordable and fair.
+//
+// Concurrency contract: after Prepare returns, a Prepared is immutable —
+// Evaluate only reads the warmed LLC (via Clone, which never writes to its
+// receiver) and the materialized trace, and builds all mutable simulation
+// state (machine, controller, cloned cache) per call. Any number of
+// goroutines may therefore call Evaluate on one Prepared concurrently, and
+// each evaluation's result depends only on its configuration — never on
+// what other evaluations run beside it or in which order.
 type Prepared struct {
 	Spec trace.Spec
 	opt  Options
@@ -66,7 +74,10 @@ func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, err
 // Trace returns the measurement trace (shared; do not mutate).
 func (p *Prepared) Trace() []trace.Access { return p.tr }
 
-// Evaluate measures one configuration on the prepared workload.
+// Evaluate measures one configuration on the prepared workload. It is safe
+// for concurrent use (see the Prepared concurrency contract) and returns
+// the same Metrics for the same configuration no matter how many
+// evaluations run in parallel.
 func (p *Prepared) Evaluate(cfg config.Config) (Metrics, error) {
 	m, err := NewMachine(p.Spec, cfg, p.opt)
 	if err != nil {

@@ -28,10 +28,12 @@
 package mct
 
 import (
+	"context"
 	"io"
 
 	"mct/internal/config"
 	"mct/internal/core"
+	"mct/internal/engine"
 	"mct/internal/experiments"
 	"mct/internal/sim"
 	"mct/internal/trace"
@@ -185,19 +187,21 @@ func Evaluate(benchmark string, nAccesses int, cfg Config) (Metrics, error) {
 // EvaluateMany measures several configurations on the identical warmed
 // workload (one warmup shared across evaluations — the cheap way to sweep).
 func EvaluateMany(benchmark string, nAccesses int, cfgs []Config) ([]Metrics, error) {
+	return EvaluateManyContext(context.Background(), benchmark, nAccesses, cfgs)
+}
+
+// EvaluateManyContext is EvaluateMany with cancellation. Configurations are
+// evaluated concurrently on up to runtime.GOMAXPROCS(0) workers; results
+// are returned in input order and are identical to a serial evaluation.
+func EvaluateManyContext(ctx context.Context, benchmark string, nAccesses int, cfgs []Config) ([]Metrics, error) {
 	p, err := sim.Prepare(benchmark, 0, nAccesses, sim.DefaultOptions())
 	if err != nil {
 		return nil, err
 	}
-	out := make([]Metrics, len(cfgs))
-	for i, c := range cfgs {
-		m, err := p.Evaluate(c)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = m
-	}
-	return out, nil
+	return engine.Map(ctx, len(cfgs), engine.Options{},
+		func(ctx context.Context, i int) (Metrics, error) {
+			return p.Evaluate(cfgs[i])
+		})
 }
 
 // Experiment types.
@@ -208,7 +212,16 @@ type (
 	ExperimentReport = experiments.Report
 	// ExperimentRunParams tunes per-experiment knobs.
 	ExperimentRunParams = experiments.RunParams
+	// ExperimentEvent is one structured progress notification.
+	ExperimentEvent = engine.Event
+	// ExperimentSink consumes progress events (must be safe for concurrent
+	// use; parallel evaluations emit from many goroutines).
+	ExperimentSink = engine.Sink
 )
+
+// TextProgress returns a sink that renders progress events as plain text
+// lines on w — the same lines the drivers printed before events existed.
+func TextProgress(w io.Writer) ExperimentSink { return engine.TextAdapter(w) }
 
 // Experiments lists the reproducible table/figure identifiers.
 func Experiments() []string { return experiments.IDs() }
@@ -216,7 +229,15 @@ func Experiments() []string { return experiments.IDs() }
 // RunExperiment regenerates one paper table/figure and writes the report
 // to w.
 func RunExperiment(id string, w io.Writer, opt ExperimentOptions, rp ExperimentRunParams) error {
-	rep, err := experiments.Run(id, opt, rp)
+	return RunExperimentContext(context.Background(), id, w, opt, rp)
+}
+
+// RunExperimentContext is RunExperiment with cancellation: cancelling ctx
+// aborts the experiment promptly with ctx.Err(). opt.Workers bounds the
+// parallelism of sweeps and driver fan-out (0 = GOMAXPROCS); reports are
+// byte-identical at any worker count.
+func RunExperimentContext(ctx context.Context, id string, w io.Writer, opt ExperimentOptions, rp ExperimentRunParams) error {
+	rep, err := experiments.Run(ctx, id, opt, rp)
 	if err != nil {
 		return err
 	}
@@ -227,7 +248,12 @@ func RunExperiment(id string, w io.Writer, opt ExperimentOptions, rp ExperimentR
 // RunExperimentReport regenerates one paper table/figure and returns the
 // structured report (for JSON output or programmatic use).
 func RunExperimentReport(id string, opt ExperimentOptions, rp ExperimentRunParams) (*ExperimentReport, error) {
-	return experiments.Run(id, opt, rp)
+	return RunExperimentReportContext(context.Background(), id, opt, rp)
+}
+
+// RunExperimentReportContext is RunExperimentReport with cancellation.
+func RunExperimentReportContext(ctx context.Context, id string, opt ExperimentOptions, rp ExperimentRunParams) (*ExperimentReport, error) {
+	return experiments.Run(ctx, id, opt, rp)
 }
 
 // DefaultExperimentOptions returns full-fidelity experiment settings.
