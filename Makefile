@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke verify
+.PHONY: all build vet lint test race bench-smoke sweep-bench verify
 
 all: verify
 
@@ -21,9 +21,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Quick end-to-end check that the mctbench binary still runs an experiment:
-# the parallel-determinism tests exercise the engine, this exercises the CLI.
+# Quick end-to-end check that the mctbench binary still runs an experiment
+# and that the warm/cold evaluation micro-benchmarks still compile and run:
+# the parallel-determinism tests exercise the engine, this exercises the CLI
+# and the bench harness.
 bench-smoke:
 	$(GO) run ./cmd/mctbench -experiment space -quick -quiet
+	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate(WarmClone|ColdRebuild)' -benchtime 5x .
+
+# Wall-clock comparison of cold-rebuild vs warm-clone sweeps on every
+# benchmark; verifies the two are identical and writes
+# results/BENCH_sweep.json.
+sweep-bench:
+	$(GO) run ./cmd/mctbench -sweep-bench -quick -quiet
 
 verify: build vet lint test race bench-smoke

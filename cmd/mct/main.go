@@ -8,6 +8,13 @@
 //	mct -benchmark lbm -lifetime 8 -insts 15000000
 //	mct -benchmark ocean -phases            # with phase detection
 //	mct -mix mix1                           # 4-core multi-program run
+//	mct -benchmark lbm -checkpoint-save results/lbm.ckpt
+//	mct -checkpoint-load results/lbm.ckpt   # resume the saved machine
+//
+// Checkpoints capture the machine's complete state (trace position, PRNG
+// stream, cache contents, controller queues and wear): a run resumed from
+// -checkpoint-load continues the exact simulation the saved run would have
+// executed. Checkpoints are single-core only.
 //
 // The reference runs (default system, static baseline) execute concurrently
 // with the MCT run on separate simulated machines; -workers bounds that
@@ -42,6 +49,8 @@ func main() {
 		model    = flag.String("model", "gboost", "predictor: gboost or quadratic-lasso")
 		phases   = flag.Bool("phases", false, "enable phase detection")
 		workers  = flag.Int("workers", 0, "parallel reference-run workers (0 = GOMAXPROCS)")
+		ckptSave = flag.String("checkpoint-save", "", "save the machine state to this file after the run")
+		ckptLoad = flag.String("checkpoint-load", "", "resume from a machine checkpoint instead of a fresh machine")
 	)
 	flag.Parse()
 
@@ -59,10 +68,16 @@ func main() {
 	ro.Model = *model
 	ro.EnablePhaseDetection = *phases
 
+	if *mix != "" && (*ckptSave != "" || *ckptLoad != "") {
+		fail(errors.New("checkpoints are single-core only; drop -mix or the -checkpoint flags"))
+	}
+
 	// Kick off the reference runs (single-core only) so they overlap the
-	// MCT run below; results are collected after the MCT output prints.
+	// MCT run below; results are collected after the MCT output prints. A
+	// resumed machine starts mid-trace, so fresh reference runs would not be
+	// comparable and are skipped.
 	var refCh chan refResult
-	if *mix == "" {
+	if *mix == "" && *ckptLoad == "" {
 		refCh = startReferenceRuns(ctx, *bench, *insts, *workers)
 	}
 
@@ -81,15 +96,35 @@ func main() {
 		}
 		res, err = rt.Run(*insts)
 	} else {
-		m, e := mct.NewMachine(*bench, mct.StaticBaseline())
+		var (
+			m *mct.Machine
+			e error
+		)
+		if *ckptLoad != "" {
+			m, e = mct.LoadCheckpoint(*ckptLoad)
+			// The loaded machine is already warm; the runtime's own warmup
+			// would advance it past the saved point.
+			ro.WarmupAccesses = 0
+		} else {
+			m, e = mct.NewMachine(*bench, mct.StaticBaseline())
+		}
 		if e != nil {
 			fail(e)
+		}
+		if *ckptLoad != "" {
+			fmt.Printf("resumed from %s (%d instructions executed)\n", *ckptLoad, m.Instructions())
 		}
 		rt, e := mct.NewRuntimeOpts(m, obj, ro)
 		if e != nil {
 			fail(e)
 		}
 		res, err = rt.Run(*insts)
+		if err == nil && *ckptSave != "" {
+			if e := mct.SaveCheckpoint(*ckptSave, m); e != nil {
+				fail(e)
+			}
+			fmt.Fprintf(os.Stderr, "checkpoint saved to %s\n", *ckptSave)
+		}
 	}
 	if err != nil {
 		fail(err)

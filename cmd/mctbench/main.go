@@ -8,6 +8,15 @@
 //	mctbench -experiment all -quick        # everything, reduced fidelity
 //	mctbench -experiment fig1 -workers 8   # bound sweep parallelism
 //	mctbench -list                         # list experiment IDs
+//	mctbench -sweep-bench -quick           # time cold vs warm-clone sweeps
+//
+// -sweep-bench measures the warm-start refactor: for each benchmark it runs
+// the brute-force configuration sweep twice — cold (fresh machine plus full
+// warmup replay per configuration) and warm (one warmed machine cloned per
+// configuration) — verifies the two produce identical metrics, prints the
+// wall-clock comparison, and writes results/BENCH_sweep.json. Timing is
+// wall-clock and therefore machine-dependent; that is why this lives behind
+// a flag instead of in the deterministic experiment registry.
 //
 // Ctrl-C cancels gracefully: the current experiment aborts promptly, and
 // sweeps that already completed stay valid in the MCT_SWEEP_CACHE disk
@@ -23,10 +32,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"time"
 
 	"mct"
+	"mct/internal/experiments"
 )
 
 func main() {
@@ -41,6 +53,7 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		asJSON  = flag.Bool("json", false, "emit structured JSON instead of text tables")
+		swBench = flag.Bool("sweep-bench", false, "time cold-rebuild vs warm-clone sweeps and write results/BENCH_sweep.json")
 	)
 	flag.Parse()
 
@@ -71,6 +84,13 @@ func main() {
 	if !*quiet {
 		opt.Events = mct.TextProgress(os.Stderr)
 	}
+	if *swBench {
+		if err := runSweepBench(ctx, opt); err != nil {
+			fail("sweep-bench", err)
+		}
+		return
+	}
+
 	rp := mct.DefaultExperimentRunParams()
 	if *insts > 0 {
 		rp.TotalInsts = *insts
@@ -107,6 +127,95 @@ func main() {
 			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+}
+
+// sweepBenchRow is one benchmark's cold-vs-warm timing.
+type sweepBenchRow struct {
+	Benchmark   string  `json:"benchmark"`
+	Configs     int     `json:"configs"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+	Identical   bool    `json:"identical"`
+}
+
+// sweepBenchReport is the results/BENCH_sweep.json payload.
+type sweepBenchReport struct {
+	Accesses         int             `json:"accesses"`
+	Stride           int             `json:"stride"`
+	Workers          int             `json:"workers"`
+	Rows             []sweepBenchRow `json:"rows"`
+	TotalColdSeconds float64         `json:"total_cold_seconds"`
+	TotalWarmSeconds float64         `json:"total_warm_seconds"`
+	Speedup          float64         `json:"speedup"`
+}
+
+// runSweepBench times the cold-rebuild sweep against the warm-clone sweep on
+// every selected benchmark and records the comparison in
+// results/BENCH_sweep.json.
+func runSweepBench(ctx context.Context, opt experiments.Options) error {
+	// Timing must measure real computation: neither the in-process nor the
+	// disk sweep cache may serve either side.
+	if err := os.Unsetenv("MCT_SWEEP_CACHE"); err != nil {
+		return err
+	}
+	rep := sweepBenchReport{Accesses: opt.Accesses, Stride: opt.Stride, Workers: opt.Workers}
+	for _, bench := range opt.Benchmarks {
+		cold := opt
+		cold.ColdSweep = true
+		experiments.ResetSweepCache()
+		t0 := time.Now()
+		sc, err := experiments.RunSweep(ctx, bench, false, cold)
+		if err != nil {
+			return err
+		}
+		coldSec := time.Since(t0).Seconds()
+
+		experiments.ResetSweepCache()
+		t1 := time.Now()
+		sw, err := experiments.RunSweep(ctx, bench, false, opt)
+		if err != nil {
+			return err
+		}
+		warmSec := time.Since(t1).Seconds()
+
+		row := sweepBenchRow{
+			Benchmark:   bench,
+			Configs:     len(sc.Indices) + 2, // evaluated configs + baseline + default
+			ColdSeconds: coldSec,
+			WarmSeconds: warmSec,
+			Speedup:     coldSec / warmSec,
+			Identical: reflect.DeepEqual(sc.Indices, sw.Indices) &&
+				reflect.DeepEqual(sc.Metrics, sw.Metrics) &&
+				reflect.DeepEqual(sc.Baseline, sw.Baseline) &&
+				reflect.DeepEqual(sc.Default, sw.Default),
+		}
+		rep.Rows = append(rep.Rows, row)
+		rep.TotalColdSeconds += coldSec
+		rep.TotalWarmSeconds += warmSec
+		fmt.Printf("%-10s %4d configs  cold %7.2fs  warm %7.2fs  speedup %.2fx  identical=%v\n",
+			bench, row.Configs, coldSec, warmSec, row.Speedup, row.Identical)
+		if !row.Identical {
+			return fmt.Errorf("%s: warm-clone sweep differs from cold rebuild (snapshot contract violated)", bench)
+		}
+	}
+	rep.Speedup = rep.TotalColdSeconds / rep.TotalWarmSeconds
+	fmt.Printf("total: cold %.2fs  warm %.2fs  speedup %.2fx\n",
+		rep.TotalColdSeconds, rep.TotalWarmSeconds, rep.Speedup)
+
+	out := filepath.Join("results", "BENCH_sweep.json")
+	if err := os.MkdirAll(filepath.Dir(out), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	return nil
 }
 
 // fail reports an experiment error and exits. Interruption (ctrl-C) is

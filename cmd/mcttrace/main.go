@@ -31,7 +31,7 @@ func main() {
 		fmt.Printf("%-12s %8s %8s %9s %10s\n", "benchmark", "MPKI", "wr-frac", "insts(M)", "lines")
 		for _, name := range trace.Names() {
 			spec, _ := trace.ByName(name)
-			tr := trace.Collect(trace.NewGenerator(spec, rng.New(*seed)), *accesses)
+			tr := trace.Collect(trace.NewGenerator(spec, rng.NewRand(*seed)), *accesses)
 			summary(name, tr)
 		}
 		return
@@ -42,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcttrace:", err)
 		os.Exit(1)
 	}
-	tr := trace.Collect(trace.NewGenerator(spec, rng.New(*seed)), *accesses)
+	tr := trace.Collect(trace.NewGenerator(spec, rng.NewRand(*seed)), *accesses)
 	per := len(tr) / *windows
 	if per == 0 {
 		per = len(tr)

@@ -78,6 +78,7 @@ func Analyzers() []*Analyzer {
 		CycleCast,
 		MutexCopy,
 		CtxFirst,
+		CloneFields,
 	}
 }
 

@@ -1,0 +1,76 @@
+// Snapshot support for the LLC: an exported, serializable state for
+// machine checkpoints (in-memory deep copies use Clone).
+package cache
+
+import "fmt"
+
+// Clone returns a deep copy of s: mutating the clone's HitsByPos never
+// perturbs the original.
+func (s Stats) Clone() Stats {
+	n := s
+	n.HitsByPos = append([]uint64(nil), s.HitsByPos...)
+	return n
+}
+
+// LineState is the serializable state of one cache line.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// Snapshot is the complete serializable state of a Cache. Lines are stored
+// set-major in MRU..LRU order, so LRU recency survives the round trip.
+type Snapshot struct {
+	SizeBytes   int
+	Ways        int
+	Lines       []LineState
+	EagerCursor int
+	Stats       Stats
+}
+
+// Snapshot captures the cache's complete state for checkpointing.
+//
+//mctlint:ignore clonefields setMask is derived from setCount and recomputed by New on restore
+func (c *Cache) Snapshot() Snapshot {
+	lines := make([]LineState, 0, c.setCount*c.ways)
+	for _, set := range c.sets {
+		for _, ln := range set {
+			lines = append(lines, LineState{Tag: ln.tag, Valid: ln.valid, Dirty: ln.dirty})
+		}
+	}
+	st := c.stats
+	st.HitsByPos = append([]uint64(nil), c.stats.HitsByPos...)
+	return Snapshot{
+		SizeBytes:   c.setCount * c.ways * LineBytes,
+		Ways:        c.ways,
+		Lines:       lines,
+		EagerCursor: c.eagerCursor,
+		Stats:       st,
+	}
+}
+
+// FromSnapshot rebuilds a cache from a state captured with Snapshot. The
+// rebuilt cache continues the identical simulation.
+func FromSnapshot(s Snapshot) (*Cache, error) {
+	c, err := New(s.SizeBytes, s.Ways)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Lines) != c.setCount*c.ways {
+		return nil, fmt.Errorf("cache: snapshot has %d lines, geometry says %d", len(s.Lines), c.setCount*c.ways)
+	}
+	if len(s.Stats.HitsByPos) != c.ways {
+		return nil, fmt.Errorf("cache: snapshot hit histogram has %d positions, geometry says %d", len(s.Stats.HitsByPos), c.ways)
+	}
+	if s.EagerCursor < 0 || s.EagerCursor >= c.setCount {
+		return nil, fmt.Errorf("cache: snapshot eager cursor %d outside [0,%d)", s.EagerCursor, c.setCount)
+	}
+	for i, ls := range s.Lines {
+		c.sets[i/c.ways][i%c.ways] = line{tag: ls.Tag, valid: ls.Valid, dirty: ls.Dirty}
+	}
+	c.eagerCursor = s.EagerCursor
+	c.stats = s.Stats
+	c.stats.HitsByPos = append([]uint64(nil), s.Stats.HitsByPos...)
+	return c, nil
+}

@@ -346,6 +346,22 @@ func (r *Runtime) Run(totalInsts uint64) (Result, error) {
 	return res, nil
 }
 
+// clampBudget bounds a requested window of n instructions to what remains of
+// budget after used. ok is false when the budget is already exhausted
+// (used ≥ budget) — computing budget-used in that state would underflow
+// uint64 into a near-infinite allowance, so callers must not run at all.
+// Windows can legitimately land in that state because the machine executes
+// whole memory accesses and may overshoot a requested window slightly.
+func clampBudget(n, budget, used uint64) (uint64, bool) {
+	if used >= budget {
+		return 0, false
+	}
+	if rem := budget - used; n > rem {
+		return rem, true
+	}
+	return n, true
+}
+
 // runPhase performs one baseline→sample→learn→test cycle, bounded by
 // budget instructions. It returns the phase outcome and instructions used.
 func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.Accum) (PhaseResult, uint64, error) {
@@ -353,8 +369,9 @@ func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.
 	var used uint64
 
 	run := func(n uint64) sim.Metrics {
-		if n > budget-used {
-			n = budget - used
+		n, ok := clampBudget(n, budget, used)
+		if !ok {
+			return sim.Metrics{}
 		}
 		m := r.machine.RunInstructions(n)
 		used += m.Instructions

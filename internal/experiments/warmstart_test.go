@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+)
+
+// sweepFingerprint is the comparable content of a sweep (Space is a shared
+// pointer and excluded).
+type sweepFingerprint struct {
+	Indices  []int
+	Metrics  interface{}
+	Baseline interface{}
+	Default  interface{}
+}
+
+func fingerprint(s *Sweep) sweepFingerprint {
+	return sweepFingerprint{Indices: s.Indices, Metrics: s.Metrics, Baseline: s.Baseline, Default: s.Default}
+}
+
+// TestWarmCloneSweepMatchesColdRebuild is the acceptance criterion of the
+// warm-start refactor: for every benchmark in QuickOptions, the warm-clone
+// sweep (one warm machine per benchmark, cloned per configuration) is
+// identical to the cold-rebuild sweep (fresh machine + full warmup replay
+// per configuration) at Workers=1 and Workers=4.
+func TestWarmCloneSweepMatchesColdRebuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full QuickOptions cold sweeps are slow; run without -short")
+	}
+	t.Setenv(cacheEnv, "")
+	ResetSweepCache()
+	defer ResetSweepCache()
+
+	opt := QuickOptions()
+	for _, bench := range opt.Benchmarks {
+		cold := opt
+		cold.ColdSweep = true
+		cold.Workers = 4
+		ref, err := RunSweep(context.Background(), bench, false, cold)
+		if err != nil {
+			t.Fatalf("%s cold: %v", bench, err)
+		}
+		for _, workers := range []int{1, 4} {
+			// Warm sweeps at different worker counts share one cache entry;
+			// reset so both worker counts are real computations (the held ref
+			// pointer is unaffected).
+			ResetSweepCache()
+			warm := opt
+			warm.Workers = workers
+			got, err := RunSweep(context.Background(), bench, false, warm)
+			if err != nil {
+				t.Fatalf("%s warm workers=%d: %v", bench, workers, err)
+			}
+			if !reflect.DeepEqual(fingerprint(ref), fingerprint(got)) {
+				t.Errorf("%s: warm-clone sweep at Workers=%d differs from cold rebuild", bench, workers)
+			}
+		}
+	}
+}
+
+// TestColdSweepKeyDistinct: cold and warm sweeps must never share a cache
+// slot (in-process or on disk) — otherwise the equivalence test above would
+// compare a computation against itself.
+func TestColdSweepKeyDistinct(t *testing.T) {
+	warm := tinyOptions()
+	cold := warm
+	cold.ColdSweep = true
+	kw := sweepKeyFor("lbm", false, warm)
+	kc := sweepKeyFor("lbm", false, cold)
+	if kw == kc {
+		t.Fatal("cold and warm sweeps share an in-process cache key")
+	}
+	if kw.filename() == kc.filename() {
+		t.Fatalf("cold and warm sweeps share a disk-cache filename: %s", kw.filename())
+	}
+}

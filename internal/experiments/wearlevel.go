@@ -56,7 +56,7 @@ func WearLevelValidation(ctx context.Context, psi, regionLines int, opt Options)
 		if err != nil {
 			return nil, nil, err
 		}
-		gen := trace.NewGenerator(spec, rng.New(opt.Seed))
+		gen := trace.NewGenerator(spec, rng.NewRand(opt.Seed))
 		sg := wearlevel.New(regionLines, psi)
 		raw := make([]uint64, regionLines+1)
 		var writes uint64

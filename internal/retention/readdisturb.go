@@ -75,7 +75,7 @@ func SimulateReadDisturbSpec(spec trace.Spec, accesses int, cfg ReadDisturbConfi
 	if err := cfg.Validate(); err != nil {
 		return Metrics{}, err
 	}
-	gen := trace.NewGenerator(spec, rng.New(seed))
+	gen := trace.NewGenerator(spec, rng.NewRand(seed))
 
 	var m Metrics
 	bankFree := make([]uint64, p.Banks)

@@ -140,7 +140,7 @@ func Simulate(benchmark string, accesses int, cfg Config, p Params, seed int64) 
 	if err != nil {
 		return Metrics{}, err
 	}
-	gen := trace.NewGenerator(spec, rng.New(seed))
+	gen := trace.NewGenerator(spec, rng.NewRand(seed))
 
 	var m Metrics
 	bankFree := make([]uint64, p.Banks)

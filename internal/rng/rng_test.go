@@ -1,6 +1,9 @@
 package rng
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 func TestNewIsDeterministic(t *testing.T) {
 	a, b := New(7), New(7)
@@ -21,5 +24,109 @@ func TestDeriveDecorrelates(t *testing.T) {
 	}
 	if same == 100 {
 		t.Fatal("derived streams with different offsets are identical")
+	}
+}
+
+func TestSourceImplementsSource64(t *testing.T) {
+	var _ rand.Source64 = NewSource(1)
+}
+
+func TestSourceStateRoundTrip(t *testing.T) {
+	s := NewSource(42)
+	for i := 0; i < 17; i++ {
+		s.Uint64()
+	}
+	saved := s.State()
+	var want [8]uint64
+	for i := range want {
+		want[i] = s.Uint64()
+	}
+	s.SetState(saved)
+	for i := range want {
+		if got := s.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after SetState: got %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+// TestRandCloneEquivalence is the contract the snapshot layers rest on: a
+// cloned stream replays the identical remaining sequence across every
+// distribution method the simulator uses (ExpFloat64, Float64, Int63n).
+func TestRandCloneEquivalence(t *testing.T) {
+	r := NewRand(99)
+	for i := 0; i < 31; i++ {
+		r.ExpFloat64()
+	}
+	c := r.Clone()
+	for i := 0; i < 200; i++ {
+		if a, b := r.ExpFloat64(), c.ExpFloat64(); a != b { //mctlint:ignore floateq exact-replay equivalence check; any bit difference is the bug
+			t.Fatalf("ExpFloat64 draw %d diverged: %v vs %v", i, a, b)
+		}
+		if a, b := r.Float64(), c.Float64(); a != b { //mctlint:ignore floateq exact-replay equivalence check; any bit difference is the bug
+			t.Fatalf("Float64 draw %d diverged: %v vs %v", i, a, b)
+		}
+		if a, b := r.Int63n(1000), c.Int63n(1000); a != b {
+			t.Fatalf("Int63n draw %d diverged: %d vs %d", i, a, b)
+		}
+	}
+}
+
+// TestRandCloneIsolation: draws on a clone never perturb the parent.
+func TestRandCloneIsolation(t *testing.T) {
+	r := NewRand(5)
+	c := r.Clone()
+	before := r.State()
+	for i := 0; i < 100; i++ {
+		c.Uint64()
+	}
+	if r.State() != before {
+		t.Fatal("draws on the clone moved the parent's state")
+	}
+}
+
+func TestRandStateRoundTrip(t *testing.T) {
+	r := NewRand(123)
+	for i := 0; i < 9; i++ {
+		r.Float64()
+	}
+	saved := r.State()
+	want := make([]float64, 50)
+	for i := range want {
+		want[i] = r.Float64()
+	}
+	r.SetState(saved)
+	for i := range want {
+		if got := r.Float64(); got != want[i] { //mctlint:ignore floateq exact-replay equivalence check; any bit difference is the bug
+			t.Fatalf("draw %d after SetState: got %v, want %v", i, got, want[i])
+		}
+	}
+}
+
+// TestSourceUniformity is a coarse sanity check that splitmix64 output is
+// well distributed: bucket 64k draws into 16 bins and require each bin to
+// hold within 25% of the expected count.
+func TestSourceUniformity(t *testing.T) {
+	s := NewSource(2026)
+	const draws = 1 << 16
+	var bins [16]int
+	for i := 0; i < draws; i++ {
+		bins[s.Uint64()>>60]++
+	}
+	expect := draws / len(bins)
+	for i, n := range bins {
+		if n < expect*3/4 || n > expect*5/4 {
+			t.Errorf("bin %d: %d draws, expected about %d", i, n, expect)
+		}
+	}
+}
+
+// TestNewSharesStreamWithNewRand: New is NewRand minus the wrapper, so both
+// constructors produce the same stream for one seed.
+func TestNewSharesStreamWithNewRand(t *testing.T) {
+	a, b := New(11), NewRand(11)
+	for i := 0; i < 50; i++ {
+		if av, bv := a.Int63(), b.Int63(); av != bv {
+			t.Fatalf("draw %d diverged: %d vs %d", i, av, bv)
+		}
 	}
 }

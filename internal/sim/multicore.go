@@ -87,7 +87,7 @@ func NewMultiMachine(specs []trace.Spec, cfg config.Config, opt MultiOptions) (*
 		winStartInsts:  make([]uint64, opt.Cores),
 	}
 	for i, spec := range specs {
-		m.gens[i] = trace.NewGeneratorAt(spec, rng.Derive(opt.Seed, int64(i)), uint64(i)*coreAddrStride)
+		m.gens[i] = trace.NewGeneratorAt(spec, rng.DeriveRand(opt.Seed, int64(i)), uint64(i)*coreAddrStride)
 	}
 	m.beginWindow()
 	return m, nil

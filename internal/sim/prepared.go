@@ -3,9 +3,7 @@ package sim
 import (
 	"fmt"
 
-	"mct/internal/cache"
 	"mct/internal/config"
-	"mct/internal/rng"
 	"mct/internal/trace"
 )
 
@@ -14,34 +12,41 @@ import (
 // hence no memory writes and meaningless lifetimes.
 const DefaultWarmupAccesses = 60_000
 
+// warmupConfig is the fixed configuration the shared warmup runs under.
+// It must be one config for all evaluations (the warm machine is built
+// once), and the all-fast default keeps warmup neutral: no techniques are
+// active, so no configuration under test gets a head start.
+func warmupConfig() config.Config { return config.Default() }
+
 // Prepared is a benchmark workload prepared for repeated configuration
-// evaluations: the LLC has been warmed once (cache contents are independent
-// of the NVM configuration), and every evaluation clones the warmed cache
-// and replays the identical measurement trace. This is what makes
-// brute-force sweeps of thousands of configurations affordable and fair.
+// evaluations: one machine (trace generator, LLC and NVM controller) has
+// been warmed once under a fixed warmup configuration, and every evaluation
+// clones the whole warm machine, switches it to the configuration under
+// test, and replays only the identical measurement trace. This is what
+// makes brute-force sweeps of thousands of configurations affordable and
+// fair: the warmup — the one cost per-configuration parallelism cannot
+// remove — is paid once per benchmark instead of once per configuration.
 //
 // Concurrency contract: after Prepare returns, a Prepared is immutable —
-// Evaluate only reads the warmed LLC (via Clone, which never writes to its
-// receiver) and the materialized trace, and builds all mutable simulation
-// state (machine, controller, cloned cache) per call. Any number of
-// goroutines may therefore call Evaluate on one Prepared concurrently, and
-// each evaluation's result depends only on its configuration — never on
-// what other evaluations run beside it or in which order.
+// Evaluate only reads the warm machine (via Clone, which never writes to
+// its receiver) and the materialized trace, and builds all mutable
+// simulation state per call. Any number of goroutines may therefore call
+// Evaluate on one Prepared concurrently, and each evaluation's result
+// depends only on its configuration — never on what other evaluations run
+// beside it or in which order.
 type Prepared struct {
 	Spec trace.Spec
 	opt  Options
 
-	warmLLC *cache.Cache
-	tr      []trace.Access
+	warmup int
+	warm   *Machine
+	tr     []trace.Access
 }
 
-// Prepare warms the LLC with warmup accesses of the named benchmark and
-// materializes measure accesses for evaluation. warmup ≤ 0 uses
-// DefaultWarmupAccesses.
+// Prepare warms a machine with warmup accesses of the named benchmark
+// (under warmupConfig) and materializes measure accesses for evaluation.
+// warmup ≤ 0 uses DefaultWarmupAccesses.
 func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, error) {
-	if err := opt.Validate(); err != nil {
-		return nil, err
-	}
 	if measure <= 0 {
 		return nil, fmt.Errorf("sim: non-positive measurement length %d", measure)
 	}
@@ -52,38 +57,64 @@ func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, err
 	if err != nil {
 		return nil, err
 	}
-	llc, err := cache.New(opt.CacheBytes, opt.CacheWays)
+	m, err := NewMachine(spec, warmupConfig(), opt)
 	if err != nil {
 		return nil, err
 	}
-	gen := trace.NewGenerator(spec, rng.New(opt.Seed))
-	// Warm the cache; memory-side effects are discarded (the controller
-	// starts fresh per evaluation — its state warms within ~1k accesses).
+	// Warm the whole machine: LLC contents, controller queues/row buffers,
+	// and warmup-accrued wear (subtracted out by window accounting).
 	for i := 0; i < warmup; i++ {
-		a := gen.Next()
-		llc.Access(a.Addr, a.Write)
+		m.step(m.gen.Next())
 	}
 	return &Prepared{
-		Spec:    spec,
-		opt:     opt,
-		warmLLC: llc,
-		tr:      trace.Collect(gen, measure),
+		Spec:   spec,
+		opt:    opt,
+		warmup: warmup,
+		warm:   m,
+		tr:     trace.Collect(m.gen, measure),
 	}, nil
 }
 
 // Trace returns the measurement trace (shared; do not mutate).
 func (p *Prepared) Trace() []trace.Access { return p.tr }
 
-// Evaluate measures one configuration on the prepared workload. It is safe
-// for concurrent use (see the Prepared concurrency contract) and returns
-// the same Metrics for the same configuration no matter how many
-// evaluations run in parallel.
+// Evaluate measures one configuration on the prepared workload by cloning
+// the warm machine and replaying the measurement window. It is safe for
+// concurrent use (see the Prepared concurrency contract) and returns the
+// same Metrics for the same configuration no matter how many evaluations
+// run in parallel.
 func (p *Prepared) Evaluate(cfg config.Config) (Metrics, error) {
-	m, err := NewMachine(p.Spec, cfg, p.opt)
+	m := p.warm.Clone()
+	if err := m.SetConfig(cfg); err != nil {
+		return Metrics{}, err
+	}
+	return p.measure(m)
+}
+
+// EvaluateCold measures one configuration the pre-clone way: build a fresh
+// machine and replay the entire warmup before the measurement window. It
+// must produce byte-identical Metrics to Evaluate — that equivalence is the
+// correctness proof of the whole snapshot contract (enforced by tests) —
+// and exists as the reference path for those tests and for the cold-vs-warm
+// sweep benchmarks.
+func (p *Prepared) EvaluateCold(cfg config.Config) (Metrics, error) {
+	m, err := NewMachine(p.Spec, warmupConfig(), p.opt)
 	if err != nil {
 		return Metrics{}, err
 	}
-	m.llc = p.warmLLC.Clone()
+	for i := 0; i < p.warmup; i++ {
+		m.step(m.gen.Next())
+	}
+	if err := m.SetConfig(cfg); err != nil {
+		return Metrics{}, err
+	}
+	return p.measure(m)
+}
+
+// measure replays the measurement trace on m (positioned at the end of
+// warmup) and returns the window metrics, with queued writes drained so
+// their wear and energy are charged.
+func (p *Prepared) measure(m *Machine) (Metrics, error) {
 	m.beginWindow()
 	for _, a := range p.tr {
 		m.step(a)

@@ -162,7 +162,7 @@ func NewMachine(spec trace.Spec, cfg config.Config, opt Options) (*Machine, erro
 	}
 	m := &Machine{
 		opt:  opt,
-		gen:  trace.NewGenerator(spec, rng.New(opt.Seed)),
+		gen:  trace.NewGenerator(spec, rng.NewRand(opt.Seed)),
 		llc:  llc,
 		ctrl: ctrl,
 	}
@@ -384,6 +384,6 @@ func Evaluate(benchmark string, nAccesses int, cfg config.Config, opt Options) (
 	if err != nil {
 		return Metrics{}, err
 	}
-	tr := trace.Collect(trace.NewGenerator(spec, rng.New(opt.Seed)), nAccesses)
+	tr := trace.Collect(trace.NewGenerator(spec, rng.NewRand(opt.Seed)), nAccesses)
 	return EvaluateTrace(tr, spec, cfg, opt)
 }

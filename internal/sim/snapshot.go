@@ -1,0 +1,183 @@
+// Snapshot support for machines: deep-copy cloning (warm-start sweeps,
+// speculative what-if branches) and versioned on-disk checkpoints
+// (pausable/resumable long runs).
+//
+// The snapshot contract (see DESIGN.md): Clone shares nothing mutable with
+// its parent — every layer (trace generator incl. PRNG position, LLC, NVM
+// controller, window bookkeeping stats) is deep-copied, so a clone replayed
+// over the same accesses produces byte-identical metrics while the parent
+// stays frozen.
+package sim
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"mct/internal/cache"
+	"mct/internal/nvm"
+	"mct/internal/trace"
+)
+
+// Clone returns an independent deep copy of the machine: both continue the
+// identical simulation from the current point, and stepping one never
+// perturbs the other. Options are pure values and copy by assignment.
+func (m *Machine) Clone() *Machine {
+	n := *m
+	n.gen = m.gen.Clone()
+	n.llc = m.llc.Clone()
+	n.ctrl = m.ctrl.Clone()
+	n.winStartStats = m.winStartStats.Clone()
+	n.winStartCache = m.winStartCache.Clone()
+	return &n
+}
+
+// Clone returns an independent deep copy of the multi-core machine: per-core
+// generators and clocks, shared LLC and controller, window bookkeeping.
+func (m *MultiMachine) Clone() *MultiMachine {
+	n := *m
+	n.gens = make([]*trace.Generator, len(m.gens))
+	for i, g := range m.gens {
+		n.gens[i] = g.Clone()
+	}
+	n.llc = m.llc.Clone()
+	n.ctrl = m.ctrl.Clone()
+	n.cpuCycles = append([]float64(nil), m.cpuCycles...)
+	n.insts = append([]uint64(nil), m.insts...)
+	n.winStartCycles = append([]float64(nil), m.winStartCycles...)
+	n.winStartInsts = append([]uint64(nil), m.winStartInsts...)
+	n.winStartStats = m.winStartStats.Clone()
+	return &n
+}
+
+// MachineState is the complete serializable state of a Machine, the payload
+// of on-disk checkpoints.
+type MachineState struct {
+	Options Options
+
+	Gen  trace.GeneratorState
+	LLC  cache.Snapshot
+	Ctrl nvm.Snapshot
+
+	CPUCycles float64
+	Insts     uint64
+
+	WinStartCycles float64
+	WinStartInsts  uint64
+	WinStartStats  nvm.Stats
+	WinStartCache  cache.Stats
+}
+
+// Snapshot captures the machine's complete state.
+func (m *Machine) Snapshot() MachineState {
+	return MachineState{
+		Options:        m.opt,
+		Gen:            m.gen.Snapshot(),
+		LLC:            m.llc.Snapshot(),
+		Ctrl:           m.ctrl.Snapshot(),
+		CPUCycles:      m.cpuCycles,
+		Insts:          m.insts,
+		WinStartCycles: m.winStartCycles,
+		WinStartInsts:  m.winStartInsts,
+		WinStartStats:  m.winStartStats.Clone(),
+		WinStartCache:  m.winStartCache.Clone(),
+	}
+}
+
+// RestoreMachine rebuilds a machine from a state captured with Snapshot.
+// The rebuilt machine continues the identical simulation.
+func RestoreMachine(st MachineState) (*Machine, error) {
+	if err := st.Options.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: checkpoint options: %w", err)
+	}
+	if st.Ctrl.Params != st.Options.Params {
+		return nil, fmt.Errorf("sim: checkpoint controller params disagree with machine options")
+	}
+	llc, err := cache.FromSnapshot(st.LLC)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint LLC: %w", err)
+	}
+	ctrl, err := nvm.FromSnapshot(st.Ctrl)
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint controller: %w", err)
+	}
+	if len(st.Gen.Spec.Phases) == 0 {
+		return nil, fmt.Errorf("sim: checkpoint generator has no phases")
+	}
+	return &Machine{
+		opt:            st.Options,
+		gen:            trace.FromState(st.Gen),
+		llc:            llc,
+		ctrl:           ctrl,
+		cpuCycles:      st.CPUCycles,
+		insts:          st.Insts,
+		winStartCycles: st.WinStartCycles,
+		winStartInsts:  st.WinStartInsts,
+		winStartStats:  st.WinStartStats.Clone(),
+		winStartCache:  st.WinStartCache.Clone(),
+	}, nil
+}
+
+const (
+	checkpointMagic   = "mct-machine-checkpoint"
+	checkpointVersion = 1
+)
+
+// checkpointEnvelope versions the on-disk format so stale checkpoints fail
+// loudly instead of decoding garbage.
+type checkpointEnvelope struct {
+	Magic   string
+	Version int
+	State   MachineState
+}
+
+// SaveCheckpoint writes the machine's state to path (gob, versioned). The
+// write is atomic: a temp file in the target directory is renamed over path
+// only after a complete encode, so a crash never leaves a torn checkpoint.
+func SaveCheckpoint(path string, m *Machine) error {
+	var buf bytes.Buffer
+	env := checkpointEnvelope{Magic: checkpointMagic, Version: checkpointVersion, State: m.Snapshot()}
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("sim: encode checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) //mctlint:ignore uncheckederr best-effort cleanup; after a successful rename the temp path no longer exists
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close() //mctlint:ignore uncheckederr the write error is the one worth reporting; the temp file is removed either way
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// LoadCheckpoint rebuilds a machine from a checkpoint written by
+// SaveCheckpoint.
+func LoadCheckpoint(path string) (*Machine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var env checkpointEnvelope
+	if err := gob.NewDecoder(f).Decode(&env); err != nil {
+		return nil, fmt.Errorf("sim: decode checkpoint %s: %w", path, err)
+	}
+	if env.Magic != checkpointMagic {
+		return nil, fmt.Errorf("sim: %s is not a machine checkpoint", path)
+	}
+	if env.Version != checkpointVersion {
+		return nil, fmt.Errorf("sim: checkpoint %s has version %d, this binary reads %d", path, env.Version, checkpointVersion)
+	}
+	return RestoreMachine(env.State)
+}

@@ -13,8 +13,9 @@ package trace
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
+
+	"mct/internal/rng"
 )
 
 // LineBytes is the cache-line size; all addresses are line-aligned when
@@ -106,7 +107,7 @@ func (s Spec) TotalCycleInsts() uint64 {
 // concurrent use.
 type Generator struct {
 	spec Spec
-	rng  *rand.Rand
+	rnd  *rng.Rand
 
 	phaseIdx   int
 	phaseInsts uint64 // instructions consumed within the current phase
@@ -118,28 +119,77 @@ type Generator struct {
 }
 
 // NewGenerator returns a deterministic generator for spec drawing from the
-// injected source rng (construct it with internal/rng so the trace is a
-// pure function of the experiment seed).
-func NewGenerator(spec Spec, rng *rand.Rand) *Generator {
+// injected clonable stream r (construct it with rng.NewRand so the trace is
+// a pure function of the experiment seed and the generator stays
+// snapshotable).
+func NewGenerator(spec Spec, r *rng.Rand) *Generator {
 	if len(spec.Phases) == 0 {
 		panic("trace: spec has no phases")
 	}
-	if rng == nil {
-		panic("trace: nil rng; inject a seeded *rand.Rand (internal/rng)")
+	if r == nil {
+		panic("trace: nil rng; inject a seeded *rng.Rand (rng.NewRand)")
 	}
-	return &Generator{spec: spec, rng: rng}
+	return &Generator{spec: spec, rnd: r}
 }
 
 // NewGeneratorAt is NewGenerator with the address space offset by base
 // (used to give each core of a multi-program workload a private footprint).
-func NewGeneratorAt(spec Spec, rng *rand.Rand, base uint64) *Generator {
-	g := NewGenerator(spec, rng)
+func NewGeneratorAt(spec Spec, r *rng.Rand, base uint64) *Generator {
+	g := NewGenerator(spec, r)
 	g.addrBase = base
 	return g
 }
 
 // Spec returns the generator's benchmark spec.
 func (g *Generator) Spec() Spec { return g.spec }
+
+// Clone returns an independent deep copy of the generator: both continue
+// the identical access stream from the current position, and advancing one
+// never perturbs the other. The Spec is shared (it is read-only by
+// contract).
+func (g *Generator) Clone() *Generator {
+	n := *g
+	n.rnd = g.rnd.Clone()
+	return &n
+}
+
+// GeneratorState is the complete serializable state of a Generator, used by
+// machine checkpoints. The Spec rides along so a generator can be rebuilt
+// without consulting the benchmark registry (custom specs included).
+type GeneratorState struct {
+	Spec       Spec
+	RNG        uint64
+	PhaseIdx   int
+	PhaseInsts uint64
+	ColdCursor uint64
+	BurstPos   uint64
+	AddrBase   uint64
+}
+
+// Snapshot captures the generator's complete state.
+func (g *Generator) Snapshot() GeneratorState {
+	return GeneratorState{
+		Spec:       g.spec,
+		RNG:        g.rnd.State(),
+		PhaseIdx:   g.phaseIdx,
+		PhaseInsts: g.phaseInsts,
+		ColdCursor: g.coldCursor,
+		BurstPos:   g.burstPos,
+		AddrBase:   g.addrBase,
+	}
+}
+
+// FromState rebuilds a generator from a state captured with Snapshot; the
+// rebuilt generator continues the identical stream.
+func FromState(st GeneratorState) *Generator {
+	g := NewGeneratorAt(st.Spec, rng.NewRand(0), st.AddrBase)
+	g.rnd.SetState(st.RNG)
+	g.phaseIdx = st.PhaseIdx
+	g.phaseInsts = st.PhaseInsts
+	g.coldCursor = st.ColdCursor
+	g.burstPos = st.BurstPos
+	return g
+}
 
 const (
 	hotRegionBase  = 0x1000_0000
@@ -164,7 +214,7 @@ func (g *Generator) Next() Access {
 		g.burstPos++
 	}
 	// Geometric-ish gap: exponential with the phase mean, floored at 1.
-	gap := g.rng.ExpFloat64() * meanGap * gapMul
+	gap := g.rnd.ExpFloat64() * meanGap * gapMul
 	if gap < 1 {
 		gap = 1
 	}
@@ -174,12 +224,12 @@ func (g *Generator) Next() Access {
 	instGap := uint32(gap)
 
 	var addr uint64
-	if ph.HotFrac > 0 && g.rng.Float64() < ph.HotFrac {
+	if ph.HotFrac > 0 && g.rnd.Float64() < ph.HotFrac {
 		hot := ph.HotBytes
 		if hot < LineBytes {
 			hot = LineBytes
 		}
-		addr = hotRegionBase + uint64(g.rng.Int63n(int64(hot/LineBytes)))*LineBytes //mctlint:ignore cyclecast region bytes / LineBytes ≤ 2^58, and Int63n is non-negative; both conversions are lossless
+		addr = hotRegionBase + uint64(g.rnd.Int63n(int64(hot/LineBytes)))*LineBytes //mctlint:ignore cyclecast region bytes / LineBytes ≤ 2^58, and Int63n is non-negative; both conversions are lossless
 	} else {
 		cold := ph.ColdBytes
 		if cold < LineBytes {
@@ -197,11 +247,11 @@ func (g *Generator) Next() Access {
 			addr = coldRegionBase + g.coldCursor%cold
 			g.coldCursor += stride
 		case Random:
-			addr = coldRegionBase + uint64(g.rng.Int63n(int64(cold/LineBytes)))*LineBytes //mctlint:ignore cyclecast region bytes / LineBytes ≤ 2^58, and Int63n is non-negative; both conversions are lossless
+			addr = coldRegionBase + uint64(g.rnd.Int63n(int64(cold/LineBytes)))*LineBytes //mctlint:ignore cyclecast region bytes / LineBytes ≤ 2^58, and Int63n is non-negative; both conversions are lossless
 		}
 	}
 
-	write := g.rng.Float64() < ph.WriteFrac
+	write := g.rnd.Float64() < ph.WriteFrac
 
 	// Advance the phase schedule.
 	g.phaseInsts += uint64(instGap)
@@ -225,12 +275,12 @@ func Collect(g *Generator, n int) []Access {
 
 // Materialize builds a trace of n accesses for the named benchmark drawing
 // from the injected source. It returns an error for unknown benchmarks.
-func Materialize(name string, n int, rng *rand.Rand) ([]Access, error) {
+func Materialize(name string, n int, r *rng.Rand) ([]Access, error) {
 	spec, err := ByName(name)
 	if err != nil {
 		return nil, err
 	}
-	return Collect(NewGenerator(spec, rng), n), nil
+	return Collect(NewGenerator(spec, r), n), nil
 }
 
 // Names returns the registered benchmark names in sorted order.

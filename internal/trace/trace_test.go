@@ -46,14 +46,14 @@ func TestMixes(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	spec, _ := ByName("lbm")
-	a := Collect(NewGenerator(spec, rng.New(7)), 5000)
-	b := Collect(NewGenerator(spec, rng.New(7)), 5000)
+	a := Collect(NewGenerator(spec, rng.NewRand(7)), 5000)
+	b := Collect(NewGenerator(spec, rng.NewRand(7)), 5000)
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("traces diverge at %d: %v vs %v", i, a[i], b[i])
 		}
 	}
-	c := Collect(NewGenerator(spec, rng.New(8)), 5000)
+	c := Collect(NewGenerator(spec, rng.NewRand(8)), 5000)
 	same := 0
 	for i := range a {
 		if a[i] == c[i] {
@@ -69,7 +69,7 @@ func TestDeterminism(t *testing.T) {
 func TestAccessInvariants(t *testing.T) {
 	f := func(seed int64) bool {
 		spec, _ := ByName("milc")
-		g := NewGenerator(spec, rng.New(seed))
+		g := NewGenerator(spec, rng.NewRand(seed))
 		for i := 0; i < 2000; i++ {
 			a := g.Next()
 			if a.InstGap < 1 || a.Addr%LineBytes != 0 {
@@ -89,7 +89,7 @@ func TestIntensityMatchesSpec(t *testing.T) {
 	// much).
 	for _, name := range Names() {
 		spec, _ := ByName(name)
-		tr := Collect(NewGenerator(spec, rng.New(1)), 100_000)
+		tr := Collect(NewGenerator(spec, rng.NewRand(1)), 100_000)
 		var insts uint64
 		var writes int
 		for _, a := range tr {
@@ -119,7 +119,7 @@ func TestWriteFractionDiversity(t *testing.T) {
 	lo, hi := 1.0, 0.0
 	for _, name := range Names() {
 		spec, _ := ByName(name)
-		tr := Collect(NewGenerator(spec, rng.New(1)), 50_000)
+		tr := Collect(NewGenerator(spec, rng.NewRand(1)), 50_000)
 		writes := 0
 		for _, a := range tr {
 			if a.Write {
@@ -148,7 +148,7 @@ func TestOceanHasPhases(t *testing.T) {
 		t.Fatal("zero cycle length")
 	}
 	// Windowed MPKI must vary substantially across the phase schedule.
-	g := NewGenerator(spec, rng.New(3))
+	g := NewGenerator(spec, rng.NewRand(3))
 	var mpkis []float64
 	for w := 0; w < 16; w++ {
 		var insts uint64
@@ -176,8 +176,8 @@ func TestOceanHasPhases(t *testing.T) {
 
 func TestAddressBaseSeparation(t *testing.T) {
 	spec, _ := ByName("gups")
-	a := NewGeneratorAt(spec, rng.New(1), 0)
-	b := NewGeneratorAt(spec, rng.New(1), 1<<34)
+	a := NewGeneratorAt(spec, rng.NewRand(1), 0)
+	b := NewGeneratorAt(spec, rng.NewRand(1), 1<<34)
 	for i := 0; i < 1000; i++ {
 		if a.Next().Addr>>34 == b.Next().Addr>>34 {
 			t.Fatal("address bases must separate cores")
@@ -198,7 +198,7 @@ func TestSequentialWalksLines(t *testing.T) {
 	spec := Spec{Name: "seq", Phases: []Phase{{
 		Insts: 1 << 40, MPKI: 50, WriteFrac: 0, ColdBytes: 1 << 20, Pattern: Sequential,
 	}}}
-	g := NewGenerator(spec, rng.New(1))
+	g := NewGenerator(spec, rng.NewRand(1))
 	prev := g.Next().Addr
 	for i := 0; i < 100; i++ {
 		a := g.Next()
@@ -210,11 +210,11 @@ func TestSequentialWalksLines(t *testing.T) {
 }
 
 func TestMaterialize(t *testing.T) {
-	tr, err := Materialize("stream", 100, rng.New(1))
+	tr, err := Materialize("stream", 100, rng.NewRand(1))
 	if err != nil || len(tr) != 100 {
 		t.Fatalf("Materialize: %v, %d accesses", err, len(tr))
 	}
-	if _, err := Materialize("nope", 10, rng.New(1)); err == nil {
+	if _, err := Materialize("nope", 10, rng.NewRand(1)); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }
@@ -225,5 +225,65 @@ func TestNewGeneratorPanicsOnEmptySpec(t *testing.T) {
 			t.Fatal("expected panic for empty spec")
 		}
 	}()
-	NewGenerator(Spec{Name: "empty"}, rng.New(1))
+	NewGenerator(Spec{Name: "empty"}, rng.NewRand(1))
+}
+
+// TestGeneratorCloneEquivalence: a clone taken mid-stream continues the
+// byte-identical access sequence the parent would have produced.
+func TestGeneratorCloneEquivalence(t *testing.T) {
+	for _, name := range Names() {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGenerator(spec, rng.NewRand(9))
+		Collect(g, 2000) // advance into the stream (and across phases)
+		c := g.Clone()
+		want := Collect(g, 3000)
+		got := Collect(c, 3000)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s: access %d diverged: %+v vs %+v", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGeneratorCloneIsolation: advancing a clone never perturbs the parent.
+func TestGeneratorCloneIsolation(t *testing.T) {
+	spec, err := ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(spec, rng.NewRand(3))
+	Collect(g, 500)
+	ref := g.Clone() // frozen reference position
+	c := g.Clone()
+	Collect(c, 4000) // churn the clone
+	want := Collect(ref, 1000)
+	got := Collect(g, 1000)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d of parent perturbed by clone activity: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGeneratorSnapshotRoundTrip: FromState(g.Snapshot()) continues the
+// identical stream, including mid-phase and mid-burst positions.
+func TestGeneratorSnapshotRoundTrip(t *testing.T) {
+	spec, err := ByName("gups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGeneratorAt(spec, rng.NewRand(17), 1<<34)
+	Collect(g, 1234)
+	r := FromState(g.Snapshot())
+	want := Collect(g, 2000)
+	got := Collect(r, 2000)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("access %d diverged after snapshot round trip: %+v vs %+v", i, got[i], want[i])
+		}
+	}
 }

@@ -156,6 +156,22 @@ func NewMixMachine(mix string, cfg Config) (*MultiMachine, error) {
 	return sim.NewMultiMachine(specs, cfg, sim.DefaultMultiOptions())
 }
 
+// SaveCheckpoint writes a machine's complete state (trace position, PRNG
+// stream, LLC contents, controller queues and wear, window bookkeeping) to
+// path as a versioned checkpoint. The write is atomic: a crash never leaves
+// a torn file.
+func SaveCheckpoint(path string, m *Machine) error { return sim.SaveCheckpoint(path, m) }
+
+// LoadCheckpoint rebuilds a machine from a checkpoint written by
+// SaveCheckpoint; the machine continues the identical simulation. Loading
+// rejects files that are not checkpoints or were written by an incompatible
+// version.
+func LoadCheckpoint(path string) (*Machine, error) { return sim.LoadCheckpoint(path) }
+
+// CloneMachine returns an independent deep copy of a machine: both continue
+// the identical simulation, and advancing one never perturbs the other.
+func CloneMachine(m *Machine) *Machine { return m.Clone() }
+
 // NewRuntime attaches an MCT runtime to a machine with default options.
 func NewRuntime(m *Machine, obj Objective) (*Runtime, error) {
 	return core.New(m, obj, core.DefaultOptions())
