@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench-smoke sweep-bench verify
+.PHONY: all build vet lint lint-json test race bench-smoke sweep-bench verify
 
 all: verify
 
@@ -13,7 +13,11 @@ vet:
 	$(GO) vet ./...
 
 lint:
-	$(GO) run ./cmd/mctlint ./...
+	$(GO) run ./cmd/mctlint -baseline lint/baseline.json ./...
+
+# Machine-readable findings, as archived by CI. Exit code is preserved.
+lint-json:
+	$(GO) run ./cmd/mctlint -json -baseline lint/baseline.json ./...
 
 test:
 	$(GO) test ./...

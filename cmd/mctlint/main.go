@@ -8,10 +8,22 @@
 //
 // Usage:
 //
-//	mctlint ./...              # whole module
-//	mctlint ./internal/...     # one subtree
-//	mctlint ./internal/sim     # one package
-//	mctlint -rules             # list rules and exit
+//	mctlint ./...                        # whole module
+//	mctlint ./internal/...               # one subtree
+//	mctlint ./internal/sim               # one package
+//	mctlint -rules                       # list rules and exit
+//	mctlint -json ./...                  # machine-readable findings (stable order)
+//	mctlint -baseline lint/baseline.json ./...  # fail only on NEW findings
+//
+// -json emits the findings as a JSON array sorted by (file, line, col,
+// rule), with module-relative forward-slash paths, so the bytes are stable
+// across runs and machines — CI archives them as a build artifact.
+//
+// -baseline loads a committed findings file in the same JSON format and
+// subtracts it: only findings not in the baseline fail the run. Matching
+// ignores line numbers (edits above a finding must not churn the
+// baseline); each baseline entry absorbs at most one finding. Stale
+// baseline entries are reported on stderr but do not fail the run.
 //
 // Suppress a finding with a trailing comment (or one on the line above):
 //
@@ -30,6 +42,8 @@ import (
 
 func main() {
 	rules := flag.Bool("rules", false, "list rules and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a stable JSON array")
+	baselinePath := flag.String("baseline", "", "accepted-findings JSON file; fail only on findings not in it")
 	flag.Parse()
 
 	if *rules {
@@ -68,30 +82,53 @@ func main() {
 		}
 	}
 
-	cwd, err := os.Getwd()
-	if err != nil {
-		fatal(err)
-	}
-
-	findings := 0
+	var all []analysis.Diagnostic
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
 		pass := analysis.NewPass(loader, pkg)
-		for _, d := range analysis.RunAnalyzers(pass, analysis.Analyzers()) {
-			if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				d.Pos.Filename = rel
-			}
-			fmt.Println(d)
-			findings++
+		all = append(all, analysis.RunAnalyzers(pass, analysis.Analyzers())...)
+	}
+
+	findings := toJSONDiagnostics(moduleDir, all)
+
+	if *baselinePath != "" {
+		base, err := loadBaseline(*baselinePath)
+		if err != nil {
+			fatal(err)
+		}
+		var stale int
+		findings, stale = filterBaseline(findings, base)
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "mctlint: %d baseline entr%s no longer found (stale; tidy the baseline)\n",
+				stale, plural(stale, "y", "ies"))
 		}
 	}
-	if findings > 0 {
-		fmt.Fprintf(os.Stderr, "mctlint: %d finding(s)\n", findings)
+
+	if *jsonOut {
+		out, err := renderJSON(findings)
+		if err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(out)
+	} else {
+		for _, d := range findings {
+			fmt.Println(d)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "mctlint: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }
 
 // resolvePattern maps a ./dir or ./dir/... argument to import paths.

@@ -69,7 +69,9 @@ type Analyzer struct {
 }
 
 // Analyzers returns the default registry: every simulator-aware rule
-// shipped with mctlint.
+// shipped with mctlint. The first seven are syntactic; the last four are
+// flow-sensitive, built on the CFG/dataflow layer of cfg.go and
+// dataflow.go.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoRandGlobal,
@@ -79,6 +81,10 @@ func Analyzers() []*Analyzer {
 		MutexCopy,
 		CtxFirst,
 		CloneFields,
+		MapRange,
+		LockBalance,
+		GoLeak,
+		DeferLoop,
 	}
 }
 

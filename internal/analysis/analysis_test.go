@@ -162,6 +162,21 @@ func TestModuleTreeClean(t *testing.T) {
 	if len(paths) < 10 {
 		t.Fatalf("suspiciously few packages found: %v", paths)
 	}
+	// The linter must lint itself: the default walk has to cover the
+	// analysis framework and the driver, not just the simulator packages.
+	mod := loader.ModulePath()
+	for _, self := range []string{mod + "/internal/analysis", mod + "/cmd/mctlint"} {
+		found := false
+		for _, p := range paths {
+			if p == self {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("default walk misses %s; the linter would not lint itself", self)
+		}
+	}
 	for _, p := range paths {
 		pkg, err := loader.Load(p)
 		if err != nil {

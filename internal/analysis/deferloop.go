@@ -1,0 +1,43 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DeferLoop reports defer statements whose block lies on a CFG cycle.
+// Deferred calls run at function exit, not iteration end, so a
+// per-iteration resource release written as `defer f.Close()` inside a
+// loop accumulates one pending call (and one held resource) per iteration
+// — on a sweep over thousands of configurations that is a file-descriptor
+// or lock exhaustion, not a cleanup.
+//
+// A defer inside a function literal that is itself inside a loop is fine:
+// the literal's body is its own function, so the defer runs when each
+// invocation returns. The CFG makes that distinction structural — the
+// literal's blocks belong to a different graph — and catches loops built
+// from `goto` as well as for/range.
+var DeferLoop = &Analyzer{
+	Name: "deferloop",
+	Doc:  "no defer inside a loop body; it runs at function exit, not iteration end",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ForEachFunc(f, func(fn ast.Node, body *ast.BlockStmt, g *CFG) {
+				for _, d := range g.Defers {
+					b := g.BlockOf(d)
+					if b == nil || !g.InLoop(b) {
+						continue
+					}
+					what := "deferred call"
+					if sel, ok := d.Call.Fun.(*ast.SelectorExpr); ok {
+						what = "defer " + types.ExprString(sel)
+					} else if id, ok := d.Call.Fun.(*ast.Ident); ok {
+						what = "defer " + id.Name
+					}
+					pass.Reportf(d.Pos(), "deferloop",
+						"%s inside a loop runs at function exit, not iteration end; release explicitly or move the body into a helper", what)
+				}
+			})
+		}
+	},
+}

@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// lockOp classifies one sync lock/unlock call site.
+type lockOp struct {
+	key     string // receiver expression + mode, e.g. "mu/w", "c.mu/r"
+	acquire bool
+	pos     token.Pos
+}
+
+// syncLockOp resolves a call expression to a lock operation on a
+// sync.Mutex, sync.RWMutex or sync.Locker receiver (including promoted
+// methods of embedded mutexes). TryLock variants are ignored: their result
+// is conditional, so balance cannot be judged from the call alone.
+func syncLockOp(info *types.Info, call *ast.CallExpr) (lockOp, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockOp{}, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return lockOp{}, false
+	}
+	var mode string
+	var acquire bool
+	switch fn.Name() {
+	case "Lock":
+		mode, acquire = "w", true
+	case "Unlock":
+		mode, acquire = "w", false
+	case "RLock":
+		mode, acquire = "r", true
+	case "RUnlock":
+		mode, acquire = "r", false
+	default:
+		return lockOp{}, false
+	}
+	return lockOp{key: types.ExprString(sel.X) + "/" + mode, acquire: acquire, pos: call.Pos()}, true
+}
+
+// lockFact is the may-be-held set: lock key → position of the acquiring
+// call. A key present at function exit means some path returns (or
+// panics) without releasing that acquisition and without a deferred
+// release covering it.
+type lockFact map[string]token.Pos
+
+// lockCalls walks n (skipping nested function literals — their locking is
+// analyzed in their own CFG) and yields the sync lock operations found, in
+// source order.
+func lockCalls(info *types.Info, n ast.Node, visit func(lockOp)) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if op, ok := syncLockOp(info, call); ok {
+				visit(op)
+			}
+		}
+		return true
+	})
+}
+
+// LockBalance reports mutex acquisitions with some path to function exit —
+// return, panic, or falling off the end — that neither unlocks nor defers
+// an unlock. On the simulator's hot paths an unlock skipped on an error
+// return deadlocks the sweep cache or the worker pool on the next
+// acquisition.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "every mu.Lock()/RLock() must be released on all paths to return/panic (Unlock, RUnlock, or defer thereof)",
+	Run: func(pass *Pass) {
+		for _, f := range pass.Files {
+			ForEachFunc(f, func(fn ast.Node, body *ast.BlockStmt, g *CFG) {
+				runLockBalance(pass, g)
+			})
+		}
+	},
+}
+
+func runLockBalance(pass *Pass, g *CFG) {
+	// Fast path: functions without lock calls need no solve.
+	any := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			lockCalls(pass.Info, n, func(lockOp) { any = true })
+		}
+	}
+	if !any {
+		return
+	}
+
+	transfer := func(b *Block, in lockFact) lockFact {
+		for _, n := range b.Nodes {
+			if d, ok := n.(*ast.DeferStmt); ok {
+				// A deferred unlock runs on every subsequent exit path,
+				// normal or panicking: the acquisition is covered from here
+				// on. This handles both `defer mu.Unlock()` and deferred
+				// literals that unlock, like `defer func() { mu.Unlock() }()`.
+				if op, ok := syncLockOp(pass.Info, d.Call); ok && !op.acquire {
+					delete(in, op.key)
+				}
+				if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+					ast.Inspect(lit.Body, func(x ast.Node) bool {
+						if call, ok := x.(*ast.CallExpr); ok {
+							if op, ok := syncLockOp(pass.Info, call); ok && !op.acquire {
+								delete(in, op.key)
+							}
+						}
+						return true
+					})
+				}
+				continue
+			}
+			lockCalls(pass.Info, n, func(op lockOp) {
+				if op.acquire {
+					if _, held := in[op.key]; !held {
+						in[op.key] = op.pos
+					}
+				} else {
+					delete(in, op.key)
+				}
+			})
+		}
+		return in
+	}
+
+	facts := ForwardSolve(g, FlowSpec[lockFact]{
+		Entry:  lockFact{},
+		Bottom: func() lockFact { return lockFact{} },
+		Clone: func(f lockFact) lockFact {
+			c := make(lockFact, len(f))
+			for k, v := range f {
+				c[k] = v
+			}
+			return c
+		},
+		Join: func(dst, src lockFact) lockFact {
+			// May-analysis: a lock held on any incoming path is held here.
+			// Keep the earliest acquisition position for stable reporting.
+			for k, v := range src {
+				if old, ok := dst[k]; !ok || v < old {
+					dst[k] = v
+				}
+			}
+			return dst
+		},
+		Equal: func(a, b lockFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if w, ok := b[k]; !ok || w != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: transfer,
+	})
+
+	leaked := facts.In[g.Exit]
+	keys := make([]string, 0, len(leaked))
+	for k := range leaked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		expr := k[:len(k)-2] // strip "/w" or "/r"
+		pass.Reportf(leaked[k], "lockbalance",
+			"%s is locked here but not released on every path to return/panic; unlock on all paths or defer the unlock", expr)
+	}
+}

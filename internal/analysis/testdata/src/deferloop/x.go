@@ -1,0 +1,73 @@
+// Package deferloop is an analyzer fixture with known violations; the
+// `// want <rule>` markers are asserted by internal/analysis tests.
+package deferloop
+
+type handle struct{ open bool }
+
+func acquire(name string) (*handle, error) { return &handle{open: true}, nil }
+
+func (h *handle) release() { h.open = false }
+
+func deferInRange(names []string) error {
+	for _, n := range names {
+		h, err := acquire(n)
+		if err != nil {
+			return err
+		}
+		defer h.release() // want deferloop
+	}
+	return nil
+}
+
+func deferInFor(n int) {
+	for i := 0; i < n; i++ {
+		h, _ := acquire("x")
+		defer h.release() // want deferloop
+	}
+}
+
+func deferInGotoLoop(names []string) {
+	i := 0
+loop:
+	if i < len(names) {
+		h, _ := acquire(names[i])
+		defer h.release() // want deferloop
+		i++
+		goto loop
+	}
+}
+
+// perIterationScope wraps the body in a function literal, so each
+// iteration's defer runs when the literal returns. Clean.
+func perIterationScope(names []string) error {
+	for _, n := range names {
+		if err := func() error {
+			h, err := acquire(n)
+			if err != nil {
+				return err
+			}
+			defer h.release()
+			return nil
+		}(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// topLevel defers once at function scope. Clean.
+func topLevel(name string) error {
+	h, err := acquire(name)
+	if err != nil {
+		return err
+	}
+	defer h.release()
+	return nil
+}
+
+func suppressedBounded(names [2]string) {
+	for _, n := range names {
+		h, _ := acquire(n)
+		defer h.release() //mctlint:ignore deferloop fixture: loop is bounded by a tiny array, defers are fine
+	}
+}

@@ -1,0 +1,74 @@
+// Package goleak is an analyzer fixture with known violations; the
+// `// want <rule>` markers are asserted by internal/analysis tests.
+package goleak
+
+import (
+	"context"
+	"sync"
+
+	"mct/internal/engine"
+)
+
+func untracked() {
+	go func() { // want goleak
+		println("orphan")
+	}()
+}
+
+func untrackedCall(ch chan int) {
+	go drain(ch) // want goleak
+}
+
+func drain(ch chan int) {
+	for range ch {
+	}
+}
+
+// ctxLiteral watches its context: cancellation reaches it. Clean.
+func ctxLiteral(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// ctxArgument passes the context into the spawned function. Clean.
+func ctxArgument(ctx context.Context, ch chan int) {
+	go watch(ctx, ch)
+}
+
+func watch(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case <-ch:
+	}
+}
+
+// wgTracked is awaited through a WaitGroup. Clean.
+func wgTracked(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// engineTracked runs under the engine package's primitives, which enforce
+// the shutdown contract themselves. Clean.
+func engineTracked(ch chan error) {
+	var opt engine.Options
+	go func() {
+		opt.Workers = 1
+		ch <- nil
+	}()
+}
+
+func suppressedDaemon() {
+	go func() { //mctlint:ignore goleak fixture: process-lifetime daemon by design
+		for {
+			println("tick")
+		}
+	}()
+}

@@ -15,6 +15,7 @@ package energy
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"mct/internal/nvm"
 )
@@ -83,8 +84,16 @@ func (m Model) Compute(instructions uint64, seconds float64, st nvm.Stats) Break
 	b.CPUDynamic = float64(instructions) * m.CPUDynamicPerInst
 	b.CPUStatic = seconds * m.CPUStaticPower
 	b.NVMRead = float64(st.Reads) * m.NVMReadEnergy
-	for ratio, n := range st.WritesByRatio {
-		b.NVMWrite += float64(n) * m.WriteEnergy(ratio)
+	// Sum write energy in sorted-ratio order: float addition is not
+	// associative, so ranging the map directly would let Go's randomized
+	// iteration order perturb the total between identically-seeded runs.
+	ratios := make([]float64, 0, len(st.WritesByRatio))
+	for ratio := range st.WritesByRatio {
+		ratios = append(ratios, ratio)
+	}
+	sort.Float64s(ratios)
+	for _, ratio := range ratios {
+		b.NVMWrite += float64(st.WritesByRatio[ratio]) * m.WriteEnergy(ratio)
 	}
 	b.NVMStatic = seconds * m.NVMStaticPower
 	return b

@@ -71,6 +71,30 @@ func TestComputeComponents(t *testing.T) {
 	}
 }
 
+// TestComputeDeterministicOverManyRatios is the regression test for the
+// map-iteration bug mctlint's maprange rule caught: NVMWrite used to be
+// summed by ranging WritesByRatio directly, so Go's randomized map order
+// perturbed the float total between identically-seeded runs. With enough
+// ratios of wildly different magnitudes, repeated Compute calls expose any
+// order sensitivity within a handful of iterations.
+func TestComputeDeterministicOverManyRatios(t *testing.T) {
+	m := Default()
+	st := nvm.Stats{Reads: 1, WritesByRatio: map[float64]uint64{}}
+	for i := 0; i < 16; i++ {
+		ratio := 1.0 + float64(i)*0.37
+		// Counts spanning nine orders of magnitude make float addition
+		// maximally order-sensitive.
+		st.WritesByRatio[ratio] = uint64(1) << uint(2*i)
+	}
+	want := m.Compute(12345, 0.5, st)
+	for i := 0; i < 200; i++ {
+		got := m.Compute(12345, 0.5, st)
+		if got != want {
+			t.Fatalf("iteration %d: Compute drifted: %+v != %+v", i, got, want)
+		}
+	}
+}
+
 func TestSlowWritesTradeEnergy(t *testing.T) {
 	// The design tension of the paper: slow writes cost less write energy
 	// but stretch execution time, costing static energy. Verify both

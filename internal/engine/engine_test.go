@@ -5,9 +5,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestMapOrdersResults(t *testing.T) {
@@ -124,6 +126,47 @@ func TestMapParentCancellation(t *testing.T) {
 	cancel()
 	if err := <-errCh; !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapCancellationLeaksNoGoroutines(t *testing.T) {
+	// Workers must exit once the context dies, even when every task blocks
+	// until cancellation: Map's pool is WaitGroup-joined, so a worker that
+	// outlived Map would be a leak visible in the process goroutine count.
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 16)
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 16, Options{Workers: 4},
+			func(ctx context.Context, i int) (int, error) {
+				started <- struct{}{}
+				<-ctx.Done()
+				return 0, ctx.Err()
+			})
+		errCh <- err
+	}()
+	for i := 0; i < 4; i++ {
+		<-started // all four workers are blocked in a task
+	}
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+
+	// Goroutine teardown is asynchronous after wg.Wait returns the workers
+	// themselves, but the runtime may lag reclaiming them; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines did not return to baseline: %d > %d", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -130,6 +130,44 @@ func TestParallelDeterminismAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestEnergyPathParallelDeterminism targets the energy accounting that
+// mctlint's maprange rule flagged: energy.Compute used to sum write energy
+// by ranging Stats.WritesByRatio, so runs whose configurations write at
+// several latency ratios (the wear-quota variants swept here) could produce
+// different float totals per run. fig3 sweeps both the plain and the
+// wear-quota space through the worker pool and regresses on energy targets,
+// so a byte-identical report at Workers=1 and Workers=4 pins the fix
+// end-to-end.
+func TestEnergyPathParallelDeterminism(t *testing.T) {
+	t.Setenv(cacheEnv, "")
+	defer ResetSweepCache()
+	opt := tinyOptions()
+	opt.Benchmarks = []string{"lbm"}
+	rp := DefaultRunParams()
+	rp.Trials = 1
+
+	render := func(workers int) string {
+		ResetSweepCache()
+		o := opt
+		o.Workers = workers
+		rep, err := Run(context.Background(), "fig3", o, rp)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		var buf bytes.Buffer
+		rep.Fprint(&buf)
+		return buf.String()
+	}
+
+	want := render(1)
+	if want == "" {
+		t.Fatal("empty report")
+	}
+	if got := render(4); got != want {
+		t.Errorf("fig3 report at Workers=4 differs from Workers=1\n--- w=1:\n%s\n--- w=4:\n%s", want, got)
+	}
+}
+
 // TestRunSweepCancellation checks the cancellation contract: a cancelled
 // context aborts a sweep with ctx.Err(), and both caches stay consistent —
 // an immediate retry with a live context succeeds and writes the disk-cache

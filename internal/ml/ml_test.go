@@ -250,6 +250,30 @@ func TestOfflinePredictor(t *testing.T) {
 	}
 }
 
+// TestOfflineFallbackDeterministic is the regression test for the
+// map-iteration bug mctlint's maprange rule caught: the unknown-config
+// fallback used to sum the mean table by ranging the map, so the global mean
+// could differ bit-for-bit between runs (and between rebuilt predictors).
+// With many configurations of mixed magnitudes, rebuilding the predictor
+// from the same data must keep the fallback bit-identical.
+func TestOfflineFallbackDeterministic(t *testing.T) {
+	build := func() *Offline {
+		var ds Dataset
+		for i := 0; i < 64; i++ {
+			ds.X = append(ds.X, []float64{float64(i), float64(i % 7)})
+			ds.Y = append(ds.Y, math.Pow(10, float64(i%18)-9)) // 10⁻⁹ … 10⁸
+		}
+		return NewOffline([]Dataset{ds})
+	}
+	unknown := []float64{-1, -1}
+	want := build().Predict(unknown)
+	for i := 0; i < 50; i++ {
+		if got := build().Predict(unknown); got != want {
+			t.Fatalf("rebuild %d: fallback mean drifted: %v != %v", i, got, want)
+		}
+	}
+}
+
 func TestHBayesTransfersAcrossTasks(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	// Tasks share weights w ~ N([3,-2], small); a new task with very few

@@ -1,6 +1,9 @@
 package ml
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Dataset pairs feature rows with targets (one task/application).
 type Dataset struct {
@@ -14,6 +17,7 @@ type Dataset struct {
 // online samples entirely (zero runtime cost, low accuracy).
 type Offline struct {
 	table map[string]float64
+	mean  float64 // global mean, the fallback for unknown configurations
 }
 
 // NewOffline builds the per-configuration cross-application mean table from
@@ -33,7 +37,22 @@ func NewOffline(offline []Dataset) *Offline {
 	for k, s := range sum {
 		table[k] = s / float64(cnt[k])
 	}
-	return &Offline{table: table}
+	// Precompute the unknown-configuration fallback in sorted-key order:
+	// float addition is order-sensitive, and the map's randomized iteration
+	// order must not leak into predictions.
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var mean float64
+	for _, k := range keys {
+		mean += table[k]
+	}
+	if len(keys) > 0 {
+		mean /= float64(len(keys))
+	}
+	return &Offline{table: table, mean: mean}
 }
 
 // Name implements Predictor.
@@ -48,14 +67,7 @@ func (o *Offline) Predict(x []float64) float64 {
 	if v, ok := o.table[vecKey(x)]; ok {
 		return v
 	}
-	var s float64
-	for _, v := range o.table {
-		s += v
-	}
-	if len(o.table) == 0 {
-		return 0
-	}
-	return s / float64(len(o.table))
+	return o.mean
 }
 
 // vecKey quantizes a feature vector into a comparable key.
