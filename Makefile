@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race bench-smoke sweep-bench verify
+.PHONY: all build vet lint lint-json test race bench-smoke sweep-bench obs-bench metrics-check verify
 
 all: verify
 
@@ -38,5 +38,18 @@ bench-smoke:
 # results/BENCH_sweep.json.
 sweep-bench:
 	$(GO) run ./cmd/mctbench -sweep-bench -quick -quiet
+
+# Observability overhead gate: the identical MCT run with and without a
+# metrics registry attached (best of 3 per arm) must stay within the
+# tolerated slowdown. Writes results/BENCH_obs.json, exits 1 above the gate.
+obs-bench:
+	$(GO) run ./cmd/mctbench -obs-bench
+
+# Determinism check on the metrics dump itself: the same run at -workers 1
+# and -workers 4 must produce byte-identical stable dumps.
+metrics-check:
+	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -workers 1 -metrics-out results/metrics-w1.json >/dev/null
+	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -workers 4 -metrics-out results/metrics-w4.json >/dev/null
+	cmp results/metrics-w1.json results/metrics-w4.json
 
 verify: build vet lint test race bench-smoke

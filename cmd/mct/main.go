@@ -51,6 +51,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel reference-run workers (0 = GOMAXPROCS)")
 		ckptSave = flag.String("checkpoint-save", "", "save the machine state to this file after the run")
 		ckptLoad = flag.String("checkpoint-load", "", "resume from a machine checkpoint instead of a fresh machine")
+		metrics  = flag.String("metrics-out", "", "write a sorted JSON metrics dump (cache/nvm/core/engine families) to this file after the run")
 	)
 	flag.Parse()
 
@@ -72,13 +73,22 @@ func main() {
 		fail(errors.New("checkpoints are single-core only; drop -mix or the -checkpoint flags"))
 	}
 
+	// One registry serves every layer of the run: the machine's cache/nvm
+	// families, the runtime's core family, and the reference-run engine
+	// fan-out. Only schedule-independent instruments land in the stable
+	// dump, so the -metrics-out file is byte-identical at any -workers.
+	var reg *mct.Registry
+	if *metrics != "" {
+		reg = mct.NewRegistry()
+	}
+
 	// Kick off the reference runs (single-core only) so they overlap the
 	// MCT run below; results are collected after the MCT output prints. A
 	// resumed machine starts mid-trace, so fresh reference runs would not be
 	// comparable and are skipped.
 	var refCh chan refResult
 	if *mix == "" && *ckptLoad == "" {
-		refCh = startReferenceRuns(ctx, *bench, *insts, *workers)
+		refCh = startReferenceRuns(ctx, *bench, *insts, *workers, reg)
 	}
 
 	var (
@@ -86,15 +96,18 @@ func main() {
 		err error
 	)
 	if *mix != "" {
-		mm, e := mct.NewMixMachine(*mix, mct.StaticBaseline())
+		mm, e := mct.NewMixMachine(ctx, *mix, mct.StaticBaseline(), mct.WithObserver(reg))
 		if e != nil {
 			fail(e)
 		}
-		rt, e := mct.NewMultiRuntime(mm, obj, ro)
+		rt, e := mct.NewMultiRuntime(ctx, mm, obj, mct.WithRuntimeOptions(ro), mct.WithObserver(reg))
 		if e != nil {
 			fail(e)
 		}
 		res, err = rt.Run(*insts)
+		if err == nil {
+			mm.SyncObserver()
+		}
 	} else {
 		var (
 			m *mct.Machine
@@ -105,8 +118,14 @@ func main() {
 			// The loaded machine is already warm; the runtime's own warmup
 			// would advance it past the saved point.
 			ro.WarmupAccesses = 0
+			// A checkpoint written under -metrics-out carries its registry;
+			// resuming continues the same counters so the final dump matches
+			// an uninterrupted run.
+			if e == nil && reg != nil && m.Observer() != nil {
+				reg = m.Observer()
+			}
 		} else {
-			m, e = mct.NewMachine(*bench, mct.StaticBaseline())
+			m, e = mct.NewMachine(ctx, *bench, mct.StaticBaseline(), mct.WithObserver(reg))
 		}
 		if e != nil {
 			fail(e)
@@ -114,7 +133,7 @@ func main() {
 		if *ckptLoad != "" {
 			fmt.Printf("resumed from %s (%d instructions executed)\n", *ckptLoad, m.Instructions())
 		}
-		rt, e := mct.NewRuntimeOpts(m, obj, ro)
+		rt, e := mct.NewRuntime(ctx, m, obj, mct.WithRuntimeOptions(ro), mct.WithObserver(reg))
 		if e != nil {
 			fail(e)
 		}
@@ -124,6 +143,9 @@ func main() {
 				fail(e)
 			}
 			fmt.Fprintf(os.Stderr, "checkpoint saved to %s\n", *ckptSave)
+		}
+		if err == nil {
+			m.SyncObserver()
 		}
 	}
 	if err != nil {
@@ -159,6 +181,15 @@ func main() {
 				r.label, r.m.IPC, r.m.LifetimeYears, r.m.EnergyJ)
 		}
 	}
+
+	// Written last so the engine counters of the reference fan-out are
+	// complete.
+	if reg != nil {
+		if e := os.WriteFile(*metrics, reg.DumpJSON(), 0o644); e != nil {
+			fail(e)
+		}
+		fmt.Fprintf(os.Stderr, "metrics dump written to %s\n", *metrics)
+	}
 }
 
 // refResult carries the reference runs (in presentation order) or the first
@@ -171,7 +202,7 @@ type refResult struct {
 // startReferenceRuns launches the default-system and static-baseline runs
 // on the identical workload in the background and returns a channel with
 // the ordered results.
-func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers int) chan refResult {
+func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers int, reg *mct.Registry) chan refResult {
 	refs := []struct {
 		label string
 		cfg   mct.Config
@@ -179,9 +210,12 @@ func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers
 
 	ch := make(chan refResult, 1)
 	go func() {
-		runs, err := engine.Map(ctx, len(refs), engine.Options{Workers: workers},
+		// The reference machines carry no per-machine observer (their
+		// gauges would race the main run's); the registry only collects
+		// the engine fan-out's deterministic counters here.
+		runs, err := engine.Map(ctx, len(refs), engine.Options{Workers: workers, Obs: reg},
 			func(ctx context.Context, i int) (refRun, error) {
-				m, err := mct.NewMachine(bench, refs[i].cfg)
+				m, err := mct.NewMachine(ctx, bench, refs[i].cfg)
 				if err != nil {
 					return refRun{}, err
 				}

@@ -9,6 +9,8 @@
 //	mctbench -experiment fig1 -workers 8   # bound sweep parallelism
 //	mctbench -list                         # list experiment IDs
 //	mctbench -sweep-bench -quick           # time cold vs warm-clone sweeps
+//	mctbench -obs-bench                    # gate observability overhead
+//	mctbench -experiment fig1 -quick -metrics-out results/BENCH_metrics.json
 //
 // -sweep-bench measures the warm-start refactor: for each benchmark it runs
 // the brute-force configuration sweep twice — cold (fresh machine plus full
@@ -22,6 +24,13 @@
 // sweeps that already completed stay valid in the MCT_SWEEP_CACHE disk
 // cache (entries are written atomically, only after a sweep finishes), so
 // a rerun picks up where the caches left off.
+//
+// -obs-bench measures the cost of the observability layer itself: it runs
+// the identical MCT runtime twice — once with a metrics registry attached,
+// once bare — takes the best of three trials per arm, writes
+// results/BENCH_obs.json, and fails (exit 1) when the instrumented run is
+// more than -obs-overhead-max slower. The layer publishes cumulative-stats
+// deltas only at window boundaries, so the expected overhead is ~0%.
 package main
 
 import (
@@ -54,6 +63,9 @@ func main() {
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		asJSON  = flag.Bool("json", false, "emit structured JSON instead of text tables")
 		swBench = flag.Bool("sweep-bench", false, "time cold-rebuild vs warm-clone sweeps and write results/BENCH_sweep.json")
+		obBench = flag.Bool("obs-bench", false, "gate observability overhead and write results/BENCH_obs.json")
+		obMax   = flag.Float64("obs-overhead-max", 0.03, "maximum tolerated -obs-bench slowdown (fraction)")
+		metrics = flag.String("metrics-out", "", "write a sorted JSON metrics dump of the experiment runs to this file")
 	)
 	flag.Parse()
 
@@ -90,6 +102,12 @@ func main() {
 		}
 		return
 	}
+	if *obBench {
+		if err := runObsBench(ctx, *obMax); err != nil {
+			fail("obs-bench", err)
+		}
+		return
+	}
 
 	rp := mct.DefaultExperimentRunParams()
 	if *insts > 0 {
@@ -105,28 +123,54 @@ func main() {
 	if *expID == "all" {
 		ids = mct.Experiments()
 	}
+	// One registry spans every experiment of the invocation; the dump it
+	// yields is byte-identical at any -workers because only
+	// schedule-independent instruments land in it.
+	var reg *mct.Registry
+	if *metrics != "" {
+		reg = mct.NewRegistry()
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	for _, id := range ids {
 		start := time.Now()
+		ropts := []mct.Option{
+			mct.WithExperimentOptions(opt), mct.WithRunParams(rp), mct.WithObserver(reg),
+		}
+		if !*asJSON {
+			ropts = append(ropts, mct.WithOutput(os.Stdout))
+		}
+		rep, err := mct.RunExperiment(ctx, id, ropts...)
+		if err != nil {
+			fail(id, err)
+		}
 		if *asJSON {
-			rep, err := mct.RunExperimentReportContext(ctx, id, opt, rp)
-			if err != nil {
-				fail(id, err)
-			}
 			if err := enc.Encode(rep); err != nil {
 				fail(id, err)
 			}
 		} else {
-			if err := mct.RunExperimentContext(ctx, id, os.Stdout, opt, rp); err != nil {
-				fail(id, err)
-			}
 			fmt.Println()
 		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 		}
 	}
+	if reg != nil {
+		if err := writeFileMkdir(*metrics, reg.DumpJSON()); err != nil {
+			fail("metrics-out", err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics dump written to %s\n", *metrics)
+	}
+}
+
+// writeFileMkdir writes data to path, creating the parent directory.
+func writeFileMkdir(path string, data []byte) error {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 // sweepBenchRow is one benchmark's cold-vs-warm timing.
@@ -215,6 +259,106 @@ func runSweepBench(ctx context.Context, opt experiments.Options) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// obsBenchReport is the results/BENCH_obs.json payload.
+type obsBenchReport struct {
+	Benchmark          string  `json:"benchmark"`
+	Insts              uint64  `json:"insts"`
+	Trials             int     `json:"trials"`
+	BareSeconds        float64 `json:"bare_seconds"`
+	InstrumentedSecond float64 `json:"instrumented_seconds"`
+	Overhead           float64 `json:"overhead"`
+	MaxOverhead        float64 `json:"max_overhead"`
+	Identical          bool    `json:"identical"`
+	Pass               bool    `json:"pass"`
+}
+
+// runObsBench times the identical MCT runtime run with and without a
+// metrics registry attached (best of three trials per arm), verifies the
+// two runs produce identical results, records the comparison in
+// results/BENCH_obs.json, and fails when the instrumented run exceeds the
+// tolerated slowdown.
+func runObsBench(ctx context.Context, maxOverhead float64) error {
+	// Long enough that each arm runs for a substantial fraction of a
+	// second: the gate compares wall clocks, and sub-100ms arms would put
+	// scheduler noise on the same order as the tolerance.
+	const (
+		bench  = "lbm"
+		insts  = 15_000_000
+		trials = 3
+	)
+	obj := mct.DefaultObjective(8)
+
+	run := func(instrumented bool) (mct.Result, float64, error) {
+		best := 0.0
+		var res mct.Result
+		for t := 0; t < trials; t++ {
+			var opts []mct.Option
+			if instrumented {
+				opts = append(opts, mct.WithObserver(mct.NewRegistry()))
+			}
+			t0 := time.Now()
+			m, err := mct.NewMachine(ctx, bench, mct.StaticBaseline(), opts...)
+			if err != nil {
+				return res, 0, err
+			}
+			rt, err := mct.NewRuntime(ctx, m, obj, opts...)
+			if err != nil {
+				return res, 0, err
+			}
+			r, err := rt.Run(insts)
+			if err != nil {
+				return res, 0, err
+			}
+			sec := time.Since(t0).Seconds()
+			if t == 0 || sec < best {
+				best = sec
+			}
+			res = r
+		}
+		return res, best, nil
+	}
+
+	bareRes, bareSec, err := run(false)
+	if err != nil {
+		return err
+	}
+	instRes, instSec, err := run(true)
+	if err != nil {
+		return err
+	}
+
+	rep := obsBenchReport{
+		Benchmark:          bench,
+		Insts:              insts,
+		Trials:             trials,
+		BareSeconds:        bareSec,
+		InstrumentedSecond: instSec,
+		Overhead:           instSec/bareSec - 1,
+		MaxOverhead:        maxOverhead,
+		Identical:          reflect.DeepEqual(bareRes, instRes),
+	}
+	rep.Pass = rep.Identical && rep.Overhead <= maxOverhead
+	fmt.Printf("obs-bench %s (%d insts, best of %d): bare %.3fs  instrumented %.3fs  overhead %+.2f%%  identical=%v\n",
+		bench, uint64(insts), trials, bareSec, instSec, 100*rep.Overhead, rep.Identical)
+
+	out := filepath.Join("results", "BENCH_obs.json")
+	data, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := writeFileMkdir(out, append(data, '\n')); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", out)
+	if !rep.Identical {
+		return fmt.Errorf("instrumented run diverged from bare run (observability must not perturb simulation)")
+	}
+	if !rep.Pass {
+		return fmt.Errorf("observability overhead %.2f%% exceeds the %.2f%% gate", 100*rep.Overhead, 100*maxOverhead)
+	}
 	return nil
 }
 

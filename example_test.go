@@ -1,6 +1,7 @@
 package mct_test
 
 import (
+	"context"
 	"fmt"
 
 	"mct"
@@ -37,7 +38,7 @@ func ExampleStaticBaseline() {
 // ExampleEvaluate measures one configuration on one synthetic workload —
 // the primitive underneath the brute-force "ideal policy" sweeps.
 func ExampleEvaluate() {
-	m, err := mct.Evaluate("zeusmp", 50_000, mct.DefaultConfig())
+	m, err := mct.Evaluate(context.Background(), "zeusmp", 50_000, mct.DefaultConfig())
 	if err != nil {
 		panic(err)
 	}
@@ -49,11 +50,12 @@ func ExampleEvaluate() {
 // simulated machine and let it learn the best configuration for the
 // workload under the default objective.
 func ExampleNewRuntime() {
-	machine, err := mct.NewMachine("lbm", mct.StaticBaseline())
+	ctx := context.Background()
+	machine, err := mct.NewMachine(ctx, "lbm", mct.StaticBaseline())
 	if err != nil {
 		panic(err)
 	}
-	rt, err := mct.NewRuntime(machine, mct.DefaultObjective(8))
+	rt, err := mct.NewRuntime(ctx, machine, mct.DefaultObjective(8))
 	if err != nil {
 		panic(err)
 	}

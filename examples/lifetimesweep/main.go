@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,7 @@ import (
 const benchmark = "lbm"
 
 func main() {
+	ctx := context.Background()
 	targets := []float64{4, 6, 8, 10}
 
 	// Brute-force reference: evaluate a strided subset of the space once,
@@ -33,7 +35,7 @@ func main() {
 	for i := 0; i < space.Len(); i += 8 {
 		cfgs = append(cfgs, space.At(i))
 	}
-	metrics, err := mct.EvaluateMany(benchmark, 40_000, cfgs)
+	metrics, err := mct.EvaluateMany(ctx, benchmark, 40_000, cfgs)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,11 +76,11 @@ func main() {
 	// MCT: no brute force — a sampling period per target.
 	fmt.Printf("\n%-8s | %-60s | %8s %8s\n", "target", "MCT-chosen configuration", "IPC", "life(y)")
 	for _, t := range targets {
-		machine, err := mct.NewMachine(benchmark, mct.StaticBaseline())
+		machine, err := mct.NewMachine(ctx, benchmark, mct.StaticBaseline())
 		if err != nil {
 			log.Fatal(err)
 		}
-		rt, err := mct.NewRuntime(machine, mct.DefaultObjective(t))
+		rt, err := mct.NewRuntime(ctx, machine, mct.DefaultObjective(t))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -16,6 +17,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const insts = 12_000_000
 
 	fmt.Printf("%-6s %-42s %10s %10s %10s %12s\n",
@@ -31,7 +33,7 @@ func main() {
 			{"default", mct.DefaultConfig()},
 			{"static", mct.StaticBaseline()},
 		} {
-			mm, err := mct.NewMixMachine(mix, ref.cfg)
+			mm, err := mct.NewMixMachine(ctx, mix, ref.cfg)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -41,13 +43,13 @@ func main() {
 		}
 
 		// MCT controls the shared memory system.
-		mm, err := mct.NewMixMachine(mix, mct.StaticBaseline())
+		mm, err := mct.NewMixMachine(ctx, mix, mct.StaticBaseline())
 		if err != nil {
 			log.Fatal(err)
 		}
 		ro := mct.DefaultRuntimeOptions()
 		ro.WarmupAccesses = 240_000
-		rt, err := mct.NewMultiRuntime(mm, mct.DefaultObjective(8), ro)
+		rt, err := mct.NewMultiRuntime(ctx, mm, mct.DefaultObjective(8), mct.WithRuntimeOptions(ro))
 		if err != nil {
 			log.Fatal(err)
 		}

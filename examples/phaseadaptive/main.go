@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -16,9 +17,10 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	const insts = 40_000_000
 
-	machine, err := mct.NewMachine("ocean", mct.StaticBaseline())
+	machine, err := mct.NewMachine(ctx, "ocean", mct.StaticBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -34,7 +36,7 @@ func main() {
 	ro.Phase.LongWindows = 400
 	ro.Phase.Threshold = 15
 
-	runtime, err := mct.NewRuntimeOpts(machine, mct.DefaultObjective(8), ro)
+	runtime, err := mct.NewRuntime(ctx, machine, mct.DefaultObjective(8), mct.WithRuntimeOptions(ro))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -58,7 +60,7 @@ func main() {
 	}
 
 	// Static reference on the identical workload.
-	ref, err := mct.NewMachine("ocean", mct.StaticBaseline())
+	ref, err := mct.NewMachine(ctx, "ocean", mct.StaticBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}

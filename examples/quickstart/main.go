@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,13 +24,15 @@ func main() {
 		lifetime  = 8.0        // years
 	)
 
+	ctx := context.Background()
+
 	// 1. Build the simulated system (Table 8/9 parameters) and attach the
 	//    MCT runtime with the default objective.
-	machine, err := mct.NewMachine(benchmark, mct.StaticBaseline())
+	machine, err := mct.NewMachine(ctx, benchmark, mct.StaticBaseline())
 	if err != nil {
 		log.Fatal(err)
 	}
-	runtime, err := mct.NewRuntime(machine, mct.DefaultObjective(lifetime))
+	runtime, err := mct.NewRuntime(ctx, machine, mct.DefaultObjective(lifetime))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,7 +66,7 @@ func main() {
 		{"default (fast writes)", mct.DefaultConfig()},
 		{"best static policy", mct.StaticBaseline()},
 	} {
-		m, err := mct.NewMachine(benchmark, ref.cfg)
+		m, err := mct.NewMachine(ctx, benchmark, ref.cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package mct_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,12 +17,13 @@ func TestLifetimeGuaranteeEndToEnd(t *testing.T) {
 		t.Skip("multi-second integration test")
 	}
 	const target = 8.0
+	ctx := context.Background()
 	for _, bench := range []string{"lbm", "gups", "milc"} {
-		m, err := mct.NewMachine(bench, mct.StaticBaseline())
+		m, err := mct.NewMachine(ctx, bench, mct.StaticBaseline())
 		if err != nil {
 			t.Fatal(err)
 		}
-		rt, err := mct.NewRuntime(m, mct.DefaultObjective(target))
+		rt, err := mct.NewRuntime(ctx, m, mct.DefaultObjective(target))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -44,12 +46,13 @@ func TestLifetimeGuaranteeEndToEnd(t *testing.T) {
 // TestRunDeterministic: identical machines and runtimes must produce
 // bit-identical decisions and metrics.
 func TestRunDeterministic(t *testing.T) {
+	ctx := context.Background()
 	run := func() (mct.Result, error) {
-		m, err := mct.NewMachine("leslie3d", mct.StaticBaseline())
+		m, err := mct.NewMachine(ctx, "leslie3d", mct.StaticBaseline())
 		if err != nil {
 			return mct.Result{}, err
 		}
-		rt, err := mct.NewRuntime(m, mct.DefaultObjective(8))
+		rt, err := mct.NewRuntime(ctx, m, mct.DefaultObjective(8))
 		if err != nil {
 			return mct.Result{}, err
 		}
@@ -79,7 +82,8 @@ func TestObjectiveVariety(t *testing.T) {
 	if testing.Short() {
 		t.Skip("multi-second integration test")
 	}
-	m, err := mct.NewMachine("milc", mct.StaticBaseline())
+	ctx := context.Background()
+	m, err := mct.NewMachine(ctx, "milc", mct.StaticBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +92,7 @@ func TestObjectiveVariety(t *testing.T) {
 		Optimize:    mct.MetricIPC,
 		Maximize:    true,
 	}
-	rt, err := mct.NewRuntime(m, obj)
+	rt, err := mct.NewRuntime(ctx, m, obj)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -69,7 +69,7 @@ type Analyzer struct {
 }
 
 // Analyzers returns the default registry: every simulator-aware rule
-// shipped with mctlint. The first seven are syntactic; the last four are
+// shipped with mctlint. The first eight are syntactic; the last four are
 // flow-sensitive, built on the CFG/dataflow layer of cfg.go and
 // dataflow.go.
 func Analyzers() []*Analyzer {
@@ -82,6 +82,7 @@ func Analyzers() []*Analyzer {
 		CtxFirst,
 		CloneFields,
 		MapRange,
+		ObsNames,
 		LockBalance,
 		GoLeak,
 		DeferLoop,

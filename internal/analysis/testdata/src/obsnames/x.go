@@ -1,0 +1,67 @@
+// Package obsnames is an analyzer fixture with known violations.
+package obsnames
+
+import "mct/internal/obs"
+
+// goodNames registers with literal names from the grammar — no findings.
+func goodNames(r *obs.Registry) {
+	_ = r.Counter("cache.hits")
+	_ = r.Gauge("nvm.wear_total")
+	_ = r.Histogram("engine.task_seconds", []float64{1, 2})
+	_ = r.VolatileGauge("engine.workers")
+	_ = r.VolatileHistogram("engine.queue_wait_seconds", []float64{1, 2})
+}
+
+const prefix = "core."
+
+// constNames built from compile-time constants are still static identity.
+func constNames(r *obs.Registry) {
+	_ = r.Counter(prefix + "phases")
+	_ = r.Counter("core." + "decisions")
+}
+
+// dynamicName defeats static metric identity: the dump's key set would
+// depend on runtime data.
+func dynamicName(r *obs.Registry, name string) {
+	_ = r.Counter(name) // want obsnames
+}
+
+// badGrammar uses names the registry would reject at runtime.
+func badGrammar(r *obs.Registry) {
+	_ = r.Gauge("Cache.Hits")         // want obsnames
+	_ = r.Counter("nvm reads")        // want obsnames
+	_ = r.Histogram("", []float64{1}) // want obsnames
+}
+
+// duplicate re-registers one name inside a single constructor.
+func duplicate(r *obs.Registry) {
+	_ = r.Counter("sim.windows")
+	_ = r.Counter("sim.windows") // want obsnames
+}
+
+// rebind looks the same name up in a different function — the legitimate
+// clone-rebinding idiom, not a duplicate.
+func rebind(r *obs.Registry) {
+	_ = r.Counter("sim.windows")
+}
+
+// perLiteral duplicate scopes are per function literal.
+func perLiteral(r *obs.Registry) {
+	_ = r.Counter("cache.misses")
+	f := func() { _ = r.Counter("cache.misses") }
+	f()
+}
+
+// notRegistry has the same method names on an unrelated type — ignored.
+type notRegistry struct{}
+
+func (notRegistry) Counter(name string) int { return len(name) }
+
+func unrelated(n notRegistry, name string) {
+	_ = n.Counter(name)
+}
+
+// suppressed carries a justified runtime-validated name.
+func suppressed(r *obs.Registry, name string) {
+	_ = r.Counter(name) //mctlint:ignore obsnames fixture: name validated by caller against the registry grammar
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"fmt"
+
+	"mct/internal/obs"
+)
+
+// runtimeObs is the runtime's metric family: decision-loop counters plus
+// last-window IPC gauges. All writes happen on the runtime's own goroutine
+// (the loop is single-threaded), so gauges are single-writer as the obs
+// contract requires.
+type runtimeObs struct {
+	phases          *obs.Counter
+	phaseChanges    *obs.Counter
+	healthChecks    *obs.Counter
+	healthReverts   *obs.Counter
+	decisions       *obs.Counter
+	decisionsUnsat  *obs.Counter
+	samplesMeasured *obs.Counter
+
+	baselineIPC *obs.Gauge
+	samplingIPC *obs.Gauge
+	testingIPC  *obs.Gauge
+}
+
+// newRuntimeObs registers the core metric family on r.
+func newRuntimeObs(r *obs.Registry) *runtimeObs {
+	return &runtimeObs{
+		phases:          r.Counter("core.phases"),
+		phaseChanges:    r.Counter("core.phase_changes"),
+		healthChecks:    r.Counter("core.health_checks"),
+		healthReverts:   r.Counter("core.health_reverts"),
+		decisions:       r.Counter("core.decisions"),
+		decisionsUnsat:  r.Counter("core.decisions_unsatisfiable"),
+		samplesMeasured: r.Counter("core.samples_measured"),
+		baselineIPC:     r.Gauge("core.baseline_ipc"),
+		samplingIPC:     r.Gauge("core.sampling_ipc"),
+		testingIPC:      r.Gauge("core.testing_ipc"),
+	}
+}
+
+// emit sends a trace event to the configured sink, if any.
+func (r *Runtime) emit(e obs.Event) {
+	if r.opt.Events != nil {
+		e.Scope = "runtime"
+		r.opt.Events(e)
+	}
+}
+
+// phaseItem renders the per-phase event Item.
+func phaseItem(phaseNo int) string { return fmt.Sprintf("phase %d", phaseNo) }

@@ -5,6 +5,7 @@ import (
 
 	"mct/internal/config"
 	"mct/internal/ml"
+	"mct/internal/obs"
 	"mct/internal/phase"
 	"mct/internal/rng"
 	"mct/internal/sampling"
@@ -91,6 +92,17 @@ type Options struct {
 
 	// Seed drives sample-set randomness.
 	Seed int64
+
+	// Obs, when non-nil, receives the runtime's metric family
+	// (core.phases, core.decisions, per-window IPC gauges, ...). The
+	// registry is typically shared with the machine's observer so one
+	// dump covers every layer.
+	Obs *obs.Registry
+
+	// Events, when non-nil, receives the runtime's decision-trace events
+	// (baseline/sampling/decision/health_revert/phase_change) with window
+	// metrics in Event.Values.
+	Events obs.TraceSink
 }
 
 // DefaultOptions returns runtime options scaled to the simulator's
@@ -242,6 +254,7 @@ type Runtime struct {
 	opt      Options
 	model    *TradeoffModel
 	detector *phase.Detector
+	robs     *runtimeObs // nil when Options.Obs is nil
 }
 
 // New constructs an MCT runtime controlling machine under objective obj.
@@ -280,6 +293,9 @@ func New(machine System, obj Objective, opt Options) (*Runtime, error) {
 		po := opt.Phase
 		po.IntervalInsts = opt.TestChunkInsts
 		r.detector = phase.New(po)
+	}
+	if opt.Obs != nil {
+		r.robs = newRuntimeObs(opt.Obs)
 	}
 	return r, nil
 }
@@ -320,16 +336,25 @@ func (r *Runtime) Run(totalInsts uint64) (Result, error) {
 
 	remaining := totalInsts
 	for remaining > 0 {
-		pr, used, err := r.runPhase(remaining, overall, samplingAll, testingAll)
+		pr, used, err := r.runPhase(len(res.Phases), remaining, overall, samplingAll, testingAll)
 		if err != nil {
 			return res, err
 		}
 		res.Phases = append(res.Phases, pr)
+		if r.robs != nil {
+			r.robs.phases.Inc()
+		}
 		if pr.PhaseChange {
 			res.PhaseChanges++
+			if r.robs != nil {
+				r.robs.phaseChanges.Inc()
+			}
 		}
 		if pr.Reverted {
 			res.HealthReverts++
+			if r.robs != nil {
+				r.robs.healthReverts.Inc()
+			}
 		}
 		if used >= remaining {
 			remaining = 0
@@ -364,7 +389,8 @@ func clampBudget(n, budget, used uint64) (uint64, bool) {
 
 // runPhase performs one baseline→sample→learn→test cycle, bounded by
 // budget instructions. It returns the phase outcome and instructions used.
-func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.Accum) (PhaseResult, uint64, error) {
+// phaseNo labels the phase in trace events.
+func (r *Runtime) runPhase(phaseNo int, budget uint64, overall, samplingAll, testingAll *sim.Accum) (PhaseResult, uint64, error) {
 	var pr PhaseResult
 	var used uint64
 
@@ -384,6 +410,13 @@ func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.
 		return pr, used, err
 	}
 	pr.Baseline = run(r.opt.BaselineInsts)
+	if r.robs != nil {
+		r.robs.baselineIPC.Set(pr.Baseline.IPC)
+	}
+	r.emit(obs.Event{
+		Item: phaseItem(phaseNo), Kind: "baseline",
+		Values: map[string]float64{"ipc": pr.Baseline.IPC, "lifetime_years": pr.Baseline.LifetimeYears},
+	})
 	if used >= budget {
 		pr.Testing = pr.Baseline // degenerate: budget too small to learn
 		return pr, used, nil
@@ -426,6 +459,13 @@ func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.
 		}
 	}
 	pr.Sampling = sampAgg.Metrics()
+	if r.robs != nil {
+		r.robs.samplingIPC.Set(pr.Sampling.IPC)
+	}
+	r.emit(obs.Event{
+		Item: phaseItem(phaseNo), Kind: "sampling",
+		Values: map[string]float64{"ipc": pr.Sampling.IPC},
+	})
 
 	// 3. Learn and optimize.
 	samples := make([]config.Config, 0, plan.Len())
@@ -464,6 +504,22 @@ func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.
 		}
 	}
 	pr.Decision.Chosen = chosen
+	if r.robs != nil {
+		r.robs.decisions.Inc()
+		r.robs.samplesMeasured.Add(uint64(len(measured)))
+		if pr.Decision.ChosenIndex >= 0 && !pr.Decision.Satisfied {
+			r.robs.decisionsUnsat.Inc()
+		}
+	}
+	r.emit(obs.Event{
+		Item: phaseItem(phaseNo), Kind: "decision",
+		Text: fmt.Sprintf("phase %d: chose config %d (satisfied=%v, %d samples)",
+			phaseNo, pr.Decision.ChosenIndex, pr.Decision.Satisfied, len(measured)),
+		Values: map[string]float64{
+			"chosen_index": float64(pr.Decision.ChosenIndex),
+			"samples":      float64(len(measured)),
+		},
+	})
 
 	// 5. Testing period with monitoring, health checks and phase
 	// detection (§5.4).
@@ -489,6 +545,9 @@ func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.
 		}
 
 		if !pr.Reverted && r.opt.HealthCheckEvery > 0 && chunks%r.opt.HealthCheckEvery == 0 && used < budget {
+			if r.robs != nil {
+				r.robs.healthChecks.Inc()
+			}
 			if err := r.machine.SetConfig(r.baseline); err != nil {
 				return pr, used, err
 			}
@@ -508,6 +567,14 @@ func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.
 				// Never worse than the baseline system (§5.4).
 				pr.Reverted = true
 				chosen = r.baseline
+				r.emit(obs.Event{
+					Item: phaseItem(phaseNo), Kind: "health_revert",
+					Text: fmt.Sprintf("phase %d: health check reverted to baseline", phaseNo),
+					Values: map[string]float64{
+						"chosen_ipc": chosenAgg.Metrics().IPC,
+						"health_ipc": healthAgg.Metrics().IPC,
+					},
+				})
 			}
 			if err := r.machine.SetConfig(chosen); err != nil {
 				return pr, used, err
@@ -515,5 +582,15 @@ func (r *Runtime) runPhase(budget uint64, overall, samplingAll, testingAll *sim.
 		}
 	}
 	pr.Testing = testAgg.Metrics()
+	if r.robs != nil {
+		r.robs.testingIPC.Set(pr.Testing.IPC)
+	}
+	if pr.PhaseChange {
+		r.emit(obs.Event{
+			Item: phaseItem(phaseNo), Kind: "phase_change",
+			Text:   fmt.Sprintf("phase %d: phase change detected, relearning", phaseNo),
+			Values: map[string]float64{"ipc": pr.Testing.IPC},
+		})
+	}
 	return pr, used, nil
 }

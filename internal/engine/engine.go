@@ -21,47 +21,62 @@
 //     tasks start; Map returns ctx.Err()).
 //   - Structured progress: completion counts stream through an optional
 //     callback, serialized and monotone, feeding Event sinks.
+//   - Deterministic metrics: with Options.Obs set, the engine's counters
+//     (map calls, tasks completed) land in the stable dump — they depend
+//     only on the work, not the schedule — while wall-clock signals (task
+//     duration buckets, worker count, queue wait) register as volatile and
+//     never reach it.
 package engine
 
 import (
 	"context"
-	"fmt"
 	"io"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
+	"time"
+
+	"mct/internal/obs"
 )
 
-// Event is one structured progress notification from the evaluation
-// pipeline. Scope names the coarse task (an experiment ID or "sweep"),
-// Item the fine-grained unit (a benchmark or mix), Done/Total carry
-// completion counts when known (Total 0 otherwise), and Text is the
-// preformatted human-readable line.
-type Event struct {
-	Scope string
-	Item  string
-	Done  int
-	Total int
-	Text  string
-}
+// Event is the engine's progress notification, now shared with the whole
+// observability layer: it is an alias of obs.Event, so progress events and
+// runtime decision traces flow through one observer type.
+type Event = obs.Event
 
-// Sink consumes progress events. Sinks must be safe for concurrent use:
-// parallel tasks emit from many goroutines.
-type Sink func(Event)
+// Sink consumes progress events (alias of obs.TraceSink). Sinks must be
+// safe for concurrent use: parallel tasks emit from many goroutines.
+type Sink = obs.TraceSink
 
 // TextAdapter returns a Sink that writes each event's preformatted Text
 // line to w — the drop-in replacement for the former `Progress io.Writer`
 // option, reproducing its line output byte-for-byte. Events without Text
-// are dropped. The adapter serializes writes, so interleaved emitters
-// never tear lines.
-func TextAdapter(w io.Writer) Sink {
-	var mu sync.Mutex
-	return func(e Event) {
-		if e.Text == "" {
-			return
-		}
-		mu.Lock()
-		defer mu.Unlock()
-		fmt.Fprintln(w, e.Text)
+// are dropped; writes are serialized so interleaved emitters never tear
+// lines. It is obs.TextSink under its historical engine name.
+func TextAdapter(w io.Writer) Sink { return obs.TextSink(w) }
+
+// taskSecondsBounds bucket per-task wall durations (volatile instrument).
+var taskSecondsBounds = []float64{0.001, 0.01, 0.1, 1, 10, 100}
+
+// engineObs is the engine's metric family on one registry.
+type engineObs struct {
+	mapCalls  *obs.Counter
+	tasks     *obs.Counter
+	workers   *obs.Gauge
+	taskSecs  *obs.Histogram
+	queueSecs *obs.Histogram
+}
+
+// newEngineObs registers the engine family on r. The deterministic half
+// (counters) lands in the stable dump; the timing half is volatile.
+func newEngineObs(r *obs.Registry) *engineObs {
+	return &engineObs{
+		mapCalls:  r.Counter("engine.map_calls"),
+		tasks:     r.Counter("engine.tasks_completed"),
+		workers:   r.VolatileGauge("engine.workers"),
+		taskSecs:  r.VolatileHistogram("engine.task_seconds", taskSecondsBounds),
+		queueSecs: r.VolatileHistogram("engine.queue_wait_seconds", taskSecondsBounds),
 	}
 }
 
@@ -77,6 +92,10 @@ type Options struct {
 	// (done = 1, 2, …, total regardless of completion order), so adapters
 	// can thin progress to every Nth completion without missing counts.
 	OnDone func(done, total int)
+
+	// Obs, when non-nil, receives the engine metric family: deterministic
+	// work counters plus volatile utilization/timing instruments.
+	Obs *obs.Registry
 }
 
 // workers resolves the effective pool size.
@@ -101,6 +120,12 @@ func Map[T any](ctx context.Context, n int, opt Options, fn func(ctx context.Con
 	if w > n {
 		w = n
 	}
+	var eo *engineObs
+	if opt.Obs != nil {
+		eo = newEngineObs(opt.Obs)
+		eo.mapCalls.Inc()
+		eo.workers.Set(float64(w))
+	}
 	out := make([]T, n)
 
 	if w <= 1 {
@@ -111,11 +136,19 @@ func Map[T any](ctx context.Context, n int, opt Options, fn func(ctx context.Con
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
+			var start time.Time
+			if eo != nil {
+				start = time.Now()
+			}
 			v, err := fn(ctx, i)
 			if err != nil {
 				return nil, err
 			}
 			out[i] = v
+			if eo != nil {
+				eo.tasks.Inc()
+				eo.taskSecs.Observe(time.Since(start).Seconds())
+			}
 			if opt.OnDone != nil {
 				opt.OnDone(i+1, n)
 			}
@@ -132,38 +165,55 @@ func Map[T any](ctx context.Context, n int, opt Options, fn func(ctx context.Con
 		errIdx   = -1
 		firstErr error
 	)
+	poolStart := time.Now()
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
+		worker := k
 		go func() {
 			defer wg.Done()
-			for {
-				mu.Lock()
-				i := next
-				next++
-				mu.Unlock()
-				if i >= n || ctx.Err() != nil {
-					return
-				}
-				v, err := fn(ctx, i)
-				mu.Lock()
-				if err != nil {
-					if errIdx < 0 || i < errIdx {
-						errIdx, firstErr = i, err
+			// pprof labels let CPU profiles of a sweep attribute samples
+			// to engine workers (go tool pprof -tagfocus engine_worker).
+			pprof.Do(ctx, pprof.Labels("engine_worker", strconv.Itoa(worker)), func(ctx context.Context) {
+				for {
+					mu.Lock()
+					i := next
+					next++
+					mu.Unlock()
+					if i >= n || ctx.Err() != nil {
+						return
+					}
+					start := time.Now()
+					if eo != nil && i >= w {
+						// Tasks beyond the first wave waited for a free
+						// worker; their start delay since pool launch is
+						// the queue-wait signal (volatile only).
+						eo.queueSecs.Observe(start.Sub(poolStart).Seconds())
+					}
+					v, err := fn(ctx, i)
+					mu.Lock()
+					if err != nil {
+						if errIdx < 0 || i < errIdx {
+							errIdx, firstErr = i, err
+						}
+						mu.Unlock()
+						cancel()
+						return
+					}
+					out[i] = v
+					done++
+					if eo != nil {
+						eo.tasks.Inc()
+						eo.taskSecs.Observe(time.Since(start).Seconds())
+					}
+					if opt.OnDone != nil {
+						// Under the lock: OnDone observes a strictly
+						// monotone completion count.
+						opt.OnDone(done, n)
 					}
 					mu.Unlock()
-					cancel()
-					return
 				}
-				out[i] = v
-				done++
-				if opt.OnDone != nil {
-					// Under the lock: OnDone observes a strictly
-					// monotone completion count.
-					opt.OnDone(done, n)
-				}
-				mu.Unlock()
-			}
+			})
 		}()
 	}
 	wg.Wait()

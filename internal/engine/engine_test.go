@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mct/internal/obs"
 )
 
 func TestMapOrdersResults(t *testing.T) {
@@ -233,5 +235,45 @@ func TestTextAdapter(t *testing.T) {
 	want := "  sweep lbm: 500/4060 configs\nfig1: sweeping lbm\n"
 	if got := buf.String(); got != want {
 		t.Errorf("TextAdapter output:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestMapObsCounters: with a registry attached, Map publishes the
+// deterministic engine counters — identical at any worker count — while the
+// wall-clock instruments stay out of the stable dump.
+func TestMapObsCounters(t *testing.T) {
+	dumpAt := func(workers int) []byte {
+		reg := obs.NewRegistry()
+		_, err := Map(context.Background(), 12, Options{Workers: workers, Obs: reg},
+			func(ctx context.Context, i int) (int, error) { return i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := reg.Counter("engine.map_calls").Value(); got != 1 {
+			t.Fatalf("map_calls = %d, want 1", got)
+		}
+		if got := reg.Counter("engine.tasks_completed").Value(); got != 12 {
+			t.Fatalf("tasks_completed = %d, want 12", got)
+		}
+		return reg.DumpJSON()
+	}
+	d1 := dumpAt(1)
+	d4 := dumpAt(4)
+	if !bytes.Equal(d1, d4) {
+		t.Errorf("engine dump differs across worker counts:\n%s\nvs\n%s", d1, d4)
+	}
+	if bytes.Contains(d1, []byte("engine.workers")) || bytes.Contains(d1, []byte("task_seconds")) {
+		t.Errorf("volatile engine instrument leaked into the stable dump:\n%s", d1)
+	}
+}
+
+// TestMapNoObsNoClock: without a registry the hot loop must not touch the
+// clock or allocate observer state (guarded here only by it not panicking
+// and by code review; the test pins the nil-Obs path's behaviour).
+func TestMapNoObsNoClock(t *testing.T) {
+	out, err := Map(context.Background(), 3, Options{Workers: 1},
+		func(ctx context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil || len(out) != 3 || out[2] != 4 {
+		t.Fatalf("out=%v err=%v", out, err)
 	}
 }

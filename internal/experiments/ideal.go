@@ -66,7 +66,7 @@ func IdealByApp(ctx context.Context, opt Options) ([]IdealByAppResult, *Report, 
 		Header: []string{"benchmark", "ipc_def", "ipc_base", "ipc_ideal", "life_def(y)", "life_base(y)", "life_ideal(y)", "en_def", "en_base", "en_ideal"},
 	}
 
-	results, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers},
+	results, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers, Obs: opt.Obs},
 		func(ctx context.Context, i int) (IdealByAppResult, error) {
 			bench := opt.Benchmarks[i]
 			emitf(opt, "fig1", bench, "fig1: sweeping %s", bench)

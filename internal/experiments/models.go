@@ -65,7 +65,7 @@ func ModelComparison(ctx context.Context, sampleCounts []int, trials int, opt Op
 	// is a barrier: the leave-one-out training below reads every other
 	// benchmark's sweep, so all must exist before stage two starts (the map
 	// is read-only from then on).
-	sweepList, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers},
+	sweepList, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers, Obs: opt.Obs},
 		func(ctx context.Context, i int) (*Sweep, error) {
 			b := opt.Benchmarks[i]
 			emitf(opt, "fig2", b, "fig2: sweeping %s", b)
@@ -140,7 +140,7 @@ func ModelComparison(ctx context.Context, sampleCounts []int, trials int, opt Op
 	// below folds them across benchmarks in input order. (The task derives
 	// its own rng stream, so trials are reproducible per benchmark
 	// regardless of scheduling.)
-	partials, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers},
+	partials, err := engine.Map(ctx, len(opt.Benchmarks), engine.Options{Workers: opt.Workers, Obs: opt.Obs},
 		func(ctx context.Context, bi int) (map[string][3][]float64, error) {
 			bench := opt.Benchmarks[bi]
 			part := make(map[string][3][]float64, len(models))

@@ -45,7 +45,7 @@ func MultiProgram(ctx context.Context, mixes []string, totalInsts uint64, opt Op
 	mo := sim.DefaultMultiOptions()
 	mo.Seed = opt.Seed
 
-	results, err := engine.Map(ctx, len(mixes), engine.Options{Workers: opt.Workers},
+	results, err := engine.Map(ctx, len(mixes), engine.Options{Workers: opt.Workers, Obs: opt.Obs},
 		func(ctx context.Context, i int) (MultiProgramResult, error) {
 			mix := mixes[i]
 			emitf(opt, "fig10", mix, "fig10: %s", mix)

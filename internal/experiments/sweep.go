@@ -9,6 +9,7 @@ import (
 	"mct/internal/config"
 	"mct/internal/core"
 	"mct/internal/engine"
+	"mct/internal/obs"
 	"mct/internal/sim"
 	"mct/internal/trace"
 )
@@ -36,6 +37,11 @@ type Options struct {
 	// Events, when non-nil, receives structured progress events. Use
 	// engine.TextAdapter to recover the former plain-text progress lines.
 	Events engine.Sink
+	// Obs, when non-nil, receives the engine's metric family from every
+	// evaluation fan-out (plus experiments.sweeps_computed). Only
+	// schedule-independent counters land in the stable dump, so sweep
+	// dumps stay byte-identical at any worker count.
+	Obs *obs.Registry
 	// ColdSweep evaluates each configuration on a freshly built machine
 	// (replaying the full warmup per configuration) instead of cloning the
 	// shared warm machine. Results are identical by the snapshot contract —
@@ -208,7 +214,10 @@ func computeSweep(ctx context.Context, benchmark string, includeWQ bool, key swe
 		indices = append(indices, i)
 	}
 
-	eopt := engine.Options{Workers: opt.Workers}
+	eopt := engine.Options{Workers: opt.Workers, Obs: opt.Obs}
+	if opt.Obs != nil {
+		opt.Obs.Counter("experiments.sweeps_computed").Inc()
+	}
 	if opt.Events != nil {
 		events, total := opt.Events, len(indices)
 		eopt.OnDone = func(done, _ int) {

@@ -163,6 +163,14 @@ type Stats struct {
 	WriteQueuePeak  int
 	ForcedSlices    uint64 // wear-quota slices in forced (slow) mode
 	TotalSlices     uint64
+
+	// BankQueueDepth histograms the per-bank write-queue depth observed at
+	// each demand-write enqueue (depth after the enqueue, clamped to 16).
+	BankQueueDepth [17]uint64
+	EagerRejected  uint64 // eager writes refused at a full eager queue
+	// EagerConversions counts eager mellow writes that an exhausted wear
+	// quota forced to issue in the slowest (forced) class instead.
+	EagerConversions uint64
 }
 
 // MaxBankWear returns the wear of the most-worn bank.
@@ -333,6 +341,10 @@ func (c *Controller) bankWearBudget() float64 {
 	return float64(c.p.LinesPerBank) * c.p.WearLevelEff
 }
 
+// WearBudget exposes the per-bank wear budget so observers can normalize
+// wear distributions against end-of-life.
+func (c *Controller) WearBudget() float64 { return c.bankWearBudget() }
+
 // LifetimeYears projects the memory lifetime assuming the observed wear
 // rate continues ("the system will cyclically execute the current workload
 // until the main memory wears out", §6.1). elapsedCycles is the simulated
@@ -465,6 +477,9 @@ func (c *Controller) issueWrite(b int, req writeReq, isEager bool) {
 	switch {
 	case c.forced && c.cfg.WearQuota:
 		c.st.ForcedWrites++
+		if isEager {
+			c.st.EagerConversions++
+		}
 	case ratio == c.cfg.FastLatency && !isEager: //mctlint:ignore floateq ratio is assigned verbatim from cfg.FastLatency/SlowLatency; provenance compare is exact
 		c.st.FastWrites++
 	default:
@@ -559,6 +574,11 @@ func (c *Controller) Write(addr uint64, now uint64) uint64 {
 	b := c.bankOf(addr)
 	c.banks[b].writes = append(c.banks[b].writes, writeReq{addr: addr, enq: accepted})
 	c.writeQLen++
+	depth := len(c.banks[b].writes)
+	if depth > 16 {
+		depth = 16
+	}
+	c.st.BankQueueDepth[depth]++
 	c.updateDrainMode()
 	if c.writeQLen > c.st.WriteQueuePeak {
 		c.st.WriteQueuePeak = c.writeQLen
@@ -605,6 +625,7 @@ func (c *Controller) drainUntilSpace(now uint64) uint64 {
 func (c *Controller) EagerWrite(addr uint64, now uint64) bool {
 	c.Advance(now)
 	if c.eagerQLen >= c.p.EagerQueueCap {
+		c.st.EagerRejected++
 		return false
 	}
 	b := c.bankOf(addr)

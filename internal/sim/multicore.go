@@ -57,6 +57,10 @@ type MultiMachine struct {
 	winStartCycles []float64
 	winStartInsts  []uint64
 	winStartStats  nvm.Stats
+
+	// obsv is the optional observer (AttachObserver); nil means no
+	// instrumentation and zero overhead.
+	obsv *machineObs
 }
 
 // NewMultiMachine builds a multi-core machine running one spec per core
@@ -194,6 +198,9 @@ func (m *MultiMachine) windowMetrics() MultiMetrics {
 	o := &m.opt.Options
 	s1 := m.ctrl.Stats()
 	s0 := m.winStartStats
+	if m.obsv != nil {
+		m.obsv.publish(m.llc.Stats(), s1, true)
+	}
 
 	var mm MultiMetrics
 	mm.PerCoreIPC = make([]float64, m.opt.Cores)

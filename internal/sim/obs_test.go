@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mct/internal/config"
+	"mct/internal/obs"
+	"mct/internal/trace"
+)
+
+// TestObserverPublishesFamilies: an attached registry carries the cache and
+// nvm metric families plus the sim window counter after a run.
+func TestObserverPublishesFamilies(t *testing.T) {
+	m := mustMachine(t, "lbm", config.StaticBaseline())
+	reg := obs.NewRegistry()
+	m.AttachObserver(reg)
+	if m.Observer() != reg {
+		t.Fatal("Observer() did not return the attached registry")
+	}
+
+	runWindow(m, 40_000)
+	dump := string(reg.DumpJSON())
+	for _, want := range []string{
+		`"cache.hits"`, `"cache.lru_hit_position"`, `"cache.writeback_rate"`,
+		`"nvm.reads"`, `"nvm.bank_queue_depth"`, `"nvm.bank_wear"`,
+		`"sim.windows": 1`,
+	} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %s:\n%s", want, dump)
+		}
+	}
+
+	m.AttachObserver(nil)
+	if m.Observer() != nil {
+		t.Error("nil attach must detach the observer")
+	}
+}
+
+// TestObserverAttachRebasesBaselines: attaching to a warm machine accounts
+// only activity from the attach point on — the pre-attach window must not
+// be double-counted into the registry.
+func TestObserverAttachRebasesBaselines(t *testing.T) {
+	m := mustMachine(t, "gups", config.StaticBaseline())
+	runWindow(m, 30_000) // pre-attach activity
+
+	reg := obs.NewRegistry()
+	m.AttachObserver(reg)
+	m.SyncObserver()
+	if v := reg.Counter("cache.hits").Value(); v != 0 {
+		t.Fatalf("pre-attach hits leaked into the registry: %d", v)
+	}
+	if v := reg.Counter("nvm.reads").Value(); v != 0 {
+		t.Fatalf("pre-attach reads leaked into the registry: %d", v)
+	}
+
+	runWindow(m, 30_000)
+	if v := reg.Counter("nvm.reads").Value(); v == 0 {
+		t.Fatal("post-attach activity not published")
+	}
+}
+
+// TestObserverCloneIsolation: Clone deep-copies the observer; advancing the
+// clone never changes the parent's dump, and the two dumps start equal.
+func TestObserverCloneIsolation(t *testing.T) {
+	m := mustMachine(t, "ocean", config.StaticBaseline())
+	reg := obs.NewRegistry()
+	m.AttachObserver(reg)
+	runWindow(m, 30_000)
+
+	cl := m.Clone()
+	if cl.Observer() == nil || cl.Observer() == reg {
+		t.Fatal("clone must carry its own deep-copied registry")
+	}
+	if !bytes.Equal(reg.DumpJSON(), cl.Observer().DumpJSON()) {
+		t.Fatal("freshly cloned registry differs from parent")
+	}
+
+	before := reg.DumpJSON()
+	runWindow(cl, 25_000)
+	if !bytes.Equal(before, reg.DumpJSON()) {
+		t.Fatal("advancing the clone perturbed the parent registry")
+	}
+	if bytes.Equal(before, cl.Observer().DumpJSON()) {
+		t.Fatal("clone run published nothing to the clone registry")
+	}
+}
+
+// TestObserverCheckpointRoundTrip: a run resumed from a checkpoint yields
+// the byte-identical final dump of the uninterrupted run — the registry
+// state rides through Snapshot/Restore and baselines rebase at restore, so
+// nothing is lost or double-counted.
+func TestObserverCheckpointRoundTrip(t *testing.T) {
+	build := func() *Machine {
+		m := mustMachine(t, "milc", config.StaticBaseline())
+		m.AttachObserver(obs.NewRegistry())
+		return m
+	}
+
+	a := build()
+	runWindow(a, 30_000)
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := SaveCheckpoint(path, a); err != nil {
+		t.Fatal(err)
+	}
+	runWindow(a, 20_000)
+	a.SyncObserver()
+
+	b, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Observer() == nil {
+		t.Fatal("checkpoint dropped the observer registry")
+	}
+	runWindow(b, 20_000)
+	b.SyncObserver()
+
+	if da, db := a.Observer().DumpJSON(), b.Observer().DumpJSON(); !bytes.Equal(da, db) {
+		t.Errorf("resumed dump differs from uninterrupted dump\nuninterrupted:\n%s\nresumed:\n%s", da, db)
+	}
+}
+
+// TestObserverlessCheckpointStaysObserverless: machines without observers
+// round-trip exactly as before (the Obs field is optional).
+func TestObserverlessCheckpointStaysObserverless(t *testing.T) {
+	m := mustMachine(t, "lbm", config.StaticBaseline())
+	runWindow(m, 20_000)
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := SaveCheckpoint(path, m); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Observer() != nil {
+		t.Fatal("observer appeared out of nowhere on restore")
+	}
+}
+
+// TestMultiMachineObserver: the 4-core machine publishes the shared
+// LLC/controller families and clones its observer isolated, like the
+// single-core machine.
+func TestMultiMachineObserver(t *testing.T) {
+	specs, err := trace.MixByName("mix1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := NewMultiMachine(specs, config.StaticBaseline(), DefaultMultiOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	mm.AttachObserver(reg)
+	if mm.Observer() != reg {
+		t.Fatal("Observer() did not return the attached registry")
+	}
+	mm.RunInstructions(200_000)
+	dump := string(reg.DumpJSON())
+	for _, want := range []string{`"cache.hits"`, `"nvm.reads"`, `"sim.windows": 1`} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("multi dump missing %s:\n%s", want, dump)
+		}
+	}
+
+	cl := mm.Clone()
+	before := reg.DumpJSON()
+	cl.RunInstructions(100_000)
+	if !bytes.Equal(before, reg.DumpJSON()) {
+		t.Fatal("advancing the multi clone perturbed the parent registry")
+	}
+}

@@ -145,6 +145,10 @@ type Machine struct {
 	winStartInsts  uint64
 	winStartStats  nvm.Stats
 	winStartCache  cache.Stats
+
+	// obsv is the optional observer (AttachObserver); nil means no
+	// instrumentation and zero overhead.
+	obsv *machineObs
 }
 
 // NewMachine builds a machine running spec under cfg.
@@ -266,6 +270,9 @@ func (m *Machine) RunInstructions(n uint64) Metrics {
 func (m *Machine) windowMetrics() Metrics {
 	st := m.ctrl.Stats()
 	cs := m.llc.Stats()
+	if m.obsv != nil {
+		m.obsv.publish(cs, st, true)
+	}
 	return m.metricsBetween(m.winStartCycles, m.winStartInsts, m.winStartStats, m.winStartCache, st, cs)
 }
 

@@ -18,6 +18,7 @@ import (
 
 	"mct/internal/cache"
 	"mct/internal/nvm"
+	"mct/internal/obs"
 	"mct/internal/trace"
 )
 
@@ -31,6 +32,9 @@ func (m *Machine) Clone() *Machine {
 	n.ctrl = m.ctrl.Clone()
 	n.winStartStats = m.winStartStats.Clone()
 	n.winStartCache = m.winStartCache.Clone()
+	if m.obsv != nil {
+		n.obsv = m.obsv.clone()
+	}
 	return &n
 }
 
@@ -49,6 +53,9 @@ func (m *MultiMachine) Clone() *MultiMachine {
 	n.winStartCycles = append([]float64(nil), m.winStartCycles...)
 	n.winStartInsts = append([]uint64(nil), m.winStartInsts...)
 	n.winStartStats = m.winStartStats.Clone()
+	if m.obsv != nil {
+		n.obsv = m.obsv.clone()
+	}
 	return &n
 }
 
@@ -68,11 +75,27 @@ type MachineState struct {
 	WinStartInsts  uint64
 	WinStartStats  nvm.Stats
 	WinStartCache  cache.Stats
+
+	// Obs is the attached observer registry's state, nil when the machine
+	// had none. A gob-additive field: version-1 checkpoints written before
+	// observers existed decode with Obs nil, which restores to "no
+	// observer" — exactly their meaning.
+	Obs *obs.State
 }
 
-// Snapshot captures the machine's complete state.
+// Snapshot captures the machine's complete state. Pending window deltas
+// are published first, so the captured registry accounts everything up to
+// the snapshot point and a restored machine (whose publisher baselines are
+// rebased to the restored stats) continues without gaps or double counts.
 func (m *Machine) Snapshot() MachineState {
+	var obsState *obs.State
+	if m.obsv != nil {
+		m.obsv.publish(m.llc.Stats(), m.ctrl.Stats(), false)
+		s := m.obsv.reg.State()
+		obsState = &s
+	}
 	return MachineState{
+		Obs:            obsState,
 		Options:        m.opt,
 		Gen:            m.gen.Snapshot(),
 		LLC:            m.llc.Snapshot(),
@@ -106,7 +129,7 @@ func RestoreMachine(st MachineState) (*Machine, error) {
 	if len(st.Gen.Spec.Phases) == 0 {
 		return nil, fmt.Errorf("sim: checkpoint generator has no phases")
 	}
-	return &Machine{
+	m := &Machine{
 		opt:            st.Options,
 		gen:            trace.FromState(st.Gen),
 		llc:            llc,
@@ -117,7 +140,15 @@ func RestoreMachine(st MachineState) (*Machine, error) {
 		winStartInsts:  st.WinStartInsts,
 		winStartStats:  st.WinStartStats.Clone(),
 		winStartCache:  st.WinStartCache.Clone(),
-	}, nil
+	}
+	if st.Obs != nil {
+		reg, err := obs.FromState(*st.Obs)
+		if err != nil {
+			return nil, fmt.Errorf("sim: checkpoint observer: %w", err)
+		}
+		m.AttachObserver(reg)
+	}
+	return m, nil
 }
 
 const (

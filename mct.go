@@ -19,10 +19,21 @@
 //
 // Quick start:
 //
-//	machine, _ := mct.NewMachine("lbm", mct.StaticBaseline())
-//	rt, _ := mct.NewRuntime(machine, mct.DefaultObjective(8))
+//	ctx := context.Background()
+//	machine, _ := mct.NewMachine(ctx, "lbm", mct.StaticBaseline())
+//	rt, _ := mct.NewRuntime(ctx, machine, mct.DefaultObjective(8))
 //	result, _ := rt.Run(15_000_000)
 //	fmt.Println(result.Testing.IPC, result.Testing.LifetimeYears)
+//
+// Every entry point is context-first and takes functional options; one
+// option set serves construction, evaluation and experiments:
+//
+//	reg := mct.NewRegistry()
+//	machine, _ := mct.NewMachine(ctx, "lbm", cfg,
+//	    mct.WithSimOptions(simOpt), mct.WithObserver(reg))
+//	rt, _ := mct.NewRuntime(ctx, machine, obj, mct.WithObserver(reg))
+//	_, _ = rt.Run(2_000_000)
+//	os.Stdout.Write(reg.DumpJSON()) // sorted, byte-stable metrics dump
 //
 // All simulation is deterministic and dependency-free (stdlib only).
 package mct
@@ -133,27 +144,64 @@ func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
 func DefaultRuntimeOptions() RuntimeOptions { return core.DefaultOptions() }
 
 // NewMachine builds a simulated system running the named benchmark under
-// cfg with default options.
-func NewMachine(benchmark string, cfg Config) (*Machine, error) {
-	return NewMachineOpts(benchmark, cfg, sim.DefaultOptions())
-}
-
-// NewMachineOpts is NewMachine with explicit simulator options.
-func NewMachineOpts(benchmark string, cfg Config, opt SimOptions) (*Machine, error) {
+// cfg. Options: WithSimOptions (default DefaultSimOptions), WithObserver
+// (cache/nvm metric families publish to the registry at window
+// boundaries).
+func NewMachine(ctx context.Context, benchmark string, cfg Config, opts ...Option) (*Machine, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := applyOpts(opts)
 	spec, err := trace.ByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewMachine(spec, cfg, opt)
+	simOpt := sim.DefaultOptions()
+	if c.sim != nil {
+		simOpt = *c.sim
+	}
+	m, err := sim.NewMachine(spec, cfg, simOpt)
+	if err != nil {
+		return nil, err
+	}
+	if c.reg != nil {
+		m.AttachObserver(c.reg)
+	}
+	return m, nil
 }
 
-// NewMixMachine builds the 4-core system running a Table 11 mix.
-func NewMixMachine(mix string, cfg Config) (*MultiMachine, error) {
+// NewMachineOpts builds a machine with explicit simulator options.
+//
+// Deprecated: use NewMachine with WithSimOptions.
+func NewMachineOpts(benchmark string, cfg Config, opt SimOptions) (*Machine, error) {
+	return NewMachine(context.Background(), benchmark, cfg, WithSimOptions(opt))
+}
+
+// NewMixMachine builds the 4-core system running a Table 11 mix. Options:
+// WithSimOptions overrides the per-core simulator options inside the
+// default multi-core setup; WithObserver attaches a registry (shared LLC
+// and controller, one cache/nvm family).
+func NewMixMachine(ctx context.Context, mix string, cfg Config, opts ...Option) (*MultiMachine, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := applyOpts(opts)
 	specs, err := trace.MixByName(mix)
 	if err != nil {
 		return nil, err
 	}
-	return sim.NewMultiMachine(specs, cfg, sim.DefaultMultiOptions())
+	mo := sim.DefaultMultiOptions()
+	if c.sim != nil {
+		mo.Options = *c.sim
+	}
+	mm, err := sim.NewMultiMachine(specs, cfg, mo)
+	if err != nil {
+		return nil, err
+	}
+	if c.reg != nil {
+		mm.AttachObserver(c.reg)
+	}
+	return mm, nil
 }
 
 // SaveCheckpoint writes a machine's complete state (trace position, PRNG
@@ -172,28 +220,75 @@ func LoadCheckpoint(path string) (*Machine, error) { return sim.LoadCheckpoint(p
 // the identical simulation, and advancing one never perturbs the other.
 func CloneMachine(m *Machine) *Machine { return m.Clone() }
 
-// NewRuntime attaches an MCT runtime to a machine with default options.
-func NewRuntime(m *Machine, obj Objective) (*Runtime, error) {
-	return core.New(m, obj, core.DefaultOptions())
+// runtimeOptions resolves the effective core options of one facade call:
+// explicit options (or defaults) with the shared observer surface merged
+// in (WithObserver feeds the core metric family, WithTraceSink the
+// decision-trace events).
+func runtimeOptions(c callOpts) RuntimeOptions {
+	opt := core.DefaultOptions()
+	if c.runtime != nil {
+		opt = *c.runtime
+	}
+	if c.reg != nil {
+		opt.Obs = c.reg
+	}
+	if c.sink != nil {
+		opt.Events = c.sink
+	}
+	return opt
 }
 
-// NewRuntimeOpts is NewRuntime with explicit options.
+// NewRuntime attaches an MCT runtime to a machine. Options:
+// WithRuntimeOptions (default DefaultRuntimeOptions), WithObserver (the
+// core metric family publishes to the registry; if the machine has no
+// observer yet, the registry is attached to it too, so one registry covers
+// both layers), WithTraceSink (decision-trace events).
+func NewRuntime(ctx context.Context, m *Machine, obj Objective, opts ...Option) (*Runtime, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := applyOpts(opts)
+	if c.reg != nil && m.Observer() == nil {
+		m.AttachObserver(c.reg)
+	}
+	return core.New(m, obj, runtimeOptions(c))
+}
+
+// NewRuntimeOpts attaches a runtime with explicit options.
+//
+// Deprecated: use NewRuntime with WithRuntimeOptions.
 func NewRuntimeOpts(m *Machine, obj Objective, opt RuntimeOptions) (*Runtime, error) {
-	return core.New(m, obj, opt)
+	return NewRuntime(context.Background(), m, obj, WithRuntimeOptions(opt))
 }
 
-// NewMultiRuntime attaches an MCT runtime to a multi-core machine.
-func NewMultiRuntime(m *MultiMachine, obj Objective, opt RuntimeOptions) (*Runtime, error) {
-	return core.New(core.MultiSystem{MM: m}, obj, opt)
+// NewMultiRuntime attaches an MCT runtime to a multi-core machine. It
+// accepts the same options as NewRuntime.
+func NewMultiRuntime(ctx context.Context, m *MultiMachine, obj Objective, opts ...Option) (*Runtime, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c := applyOpts(opts)
+	if c.reg != nil && m.Observer() == nil {
+		m.AttachObserver(c.reg)
+	}
+	return core.New(core.MultiSystem{MM: m}, obj, runtimeOptions(c))
 }
 
 // Evaluate measures one configuration on a benchmark trace of nAccesses
 // LLC accesses. The LLC is warmed before measurement (a cold cache
 // produces no writebacks and meaningless lifetimes); the trace is
 // deterministic, so evaluations of different configurations are directly
-// comparable.
-func Evaluate(benchmark string, nAccesses int, cfg Config) (Metrics, error) {
-	p, err := sim.Prepare(benchmark, 0, nAccesses, sim.DefaultOptions())
+// comparable. Options: WithSimOptions.
+func Evaluate(ctx context.Context, benchmark string, nAccesses int, cfg Config, opts ...Option) (Metrics, error) {
+	if err := ctx.Err(); err != nil {
+		return Metrics{}, err
+	}
+	c := applyOpts(opts)
+	simOpt := sim.DefaultOptions()
+	if c.sim != nil {
+		simOpt = *c.sim
+	}
+	p, err := sim.Prepare(benchmark, 0, nAccesses, simOpt)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -201,23 +296,32 @@ func Evaluate(benchmark string, nAccesses int, cfg Config) (Metrics, error) {
 }
 
 // EvaluateMany measures several configurations on the identical warmed
-// workload (one warmup shared across evaluations — the cheap way to sweep).
-func EvaluateMany(benchmark string, nAccesses int, cfgs []Config) ([]Metrics, error) {
-	return EvaluateManyContext(context.Background(), benchmark, nAccesses, cfgs)
-}
-
-// EvaluateManyContext is EvaluateMany with cancellation. Configurations are
-// evaluated concurrently on up to runtime.GOMAXPROCS(0) workers; results
-// are returned in input order and are identical to a serial evaluation.
-func EvaluateManyContext(ctx context.Context, benchmark string, nAccesses int, cfgs []Config) ([]Metrics, error) {
-	p, err := sim.Prepare(benchmark, 0, nAccesses, sim.DefaultOptions())
+// workload (one warmup shared across evaluations — the cheap way to
+// sweep). Configurations are evaluated concurrently (WithWorkers bounds
+// the pool, default GOMAXPROCS); results are returned in input order and
+// are identical to a serial evaluation. Options: WithSimOptions,
+// WithWorkers, WithObserver (engine metric family).
+func EvaluateMany(ctx context.Context, benchmark string, nAccesses int, cfgs []Config, opts ...Option) ([]Metrics, error) {
+	c := applyOpts(opts)
+	simOpt := sim.DefaultOptions()
+	if c.sim != nil {
+		simOpt = *c.sim
+	}
+	p, err := sim.Prepare(benchmark, 0, nAccesses, simOpt)
 	if err != nil {
 		return nil, err
 	}
-	return engine.Map(ctx, len(cfgs), engine.Options{},
+	return engine.Map(ctx, len(cfgs), engine.Options{Workers: c.workers, Obs: c.reg},
 		func(ctx context.Context, i int) (Metrics, error) {
 			return p.Evaluate(cfgs[i])
 		})
+}
+
+// EvaluateManyContext evaluates several configurations with cancellation.
+//
+// Deprecated: EvaluateMany is context-first now; call it directly.
+func EvaluateManyContext(ctx context.Context, benchmark string, nAccesses int, cfgs []Config) ([]Metrics, error) {
+	return EvaluateMany(ctx, benchmark, nAccesses, cfgs)
 }
 
 // Experiment types.
@@ -229,47 +333,84 @@ type (
 	// ExperimentRunParams tunes per-experiment knobs.
 	ExperimentRunParams = experiments.RunParams
 	// ExperimentEvent is one structured progress notification.
+	//
+	// Deprecated: use TraceEvent (the same type; the observer surface is
+	// unified on internal/obs).
 	ExperimentEvent = engine.Event
-	// ExperimentSink consumes progress events (must be safe for concurrent
-	// use; parallel evaluations emit from many goroutines).
+	// ExperimentSink consumes progress events.
+	//
+	// Deprecated: use TraceSink (the same type).
 	ExperimentSink = engine.Sink
 )
 
-// TextProgress returns a sink that renders progress events as plain text
+// TextProgress returns a sink that renders trace events as plain text
 // lines on w — the same lines the drivers printed before events existed.
-func TextProgress(w io.Writer) ExperimentSink { return engine.TextAdapter(w) }
+// Pass it via WithTraceSink.
+func TextProgress(w io.Writer) TraceSink { return engine.TextAdapter(w) }
 
 // Experiments lists the reproducible table/figure identifiers.
 func Experiments() []string { return experiments.IDs() }
 
-// RunExperiment regenerates one paper table/figure and writes the report
-// to w.
-func RunExperiment(id string, w io.Writer, opt ExperimentOptions, rp ExperimentRunParams) error {
-	return RunExperimentContext(context.Background(), id, w, opt, rp)
-}
-
-// RunExperimentContext is RunExperiment with cancellation: cancelling ctx
-// aborts the experiment promptly with ctx.Err(). opt.Workers bounds the
-// parallelism of sweeps and driver fan-out (0 = GOMAXPROCS); reports are
-// byte-identical at any worker count.
-func RunExperimentContext(ctx context.Context, id string, w io.Writer, opt ExperimentOptions, rp ExperimentRunParams) error {
+// RunExperiment regenerates one paper table/figure and returns the
+// structured report. Options: WithExperimentOptions (default
+// DefaultExperimentOptions), WithRunParams, WithWorkers, WithTraceSink
+// (progress events), WithObserver (engine metric family + sweep counters),
+// WithOutput (render the text report to a writer as well). Cancelling ctx
+// aborts promptly with ctx.Err(); reports are byte-identical at any worker
+// count.
+func RunExperiment(ctx context.Context, id string, opts ...Option) (*ExperimentReport, error) {
+	c := applyOpts(opts)
+	opt := experiments.DefaultOptions()
+	if c.exp != nil {
+		opt = *c.exp
+	}
+	rp := experiments.DefaultRunParams()
+	if c.rp != nil {
+		rp = *c.rp
+	}
+	if c.workersSet {
+		opt.Workers = c.workers
+	}
+	if c.sink != nil {
+		opt.Events = c.sink
+	}
+	if c.reg != nil {
+		opt.Obs = c.reg
+	}
 	rep, err := experiments.Run(ctx, id, opt, rp)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	rep.Fprint(w)
-	return nil
+	if c.out != nil {
+		rep.Fprint(c.out)
+	}
+	return rep, nil
 }
 
-// RunExperimentReport regenerates one paper table/figure and returns the
-// structured report (for JSON output or programmatic use).
+// RunExperimentContext regenerates one table/figure and writes the text
+// report to w.
+//
+// Deprecated: use RunExperiment with WithExperimentOptions, WithRunParams
+// and WithOutput.
+func RunExperimentContext(ctx context.Context, id string, w io.Writer, opt ExperimentOptions, rp ExperimentRunParams) error {
+	_, err := RunExperiment(ctx, id, WithExperimentOptions(opt), WithRunParams(rp), WithOutput(w))
+	return err
+}
+
+// RunExperimentReport regenerates one table/figure and returns the
+// structured report.
+//
+// Deprecated: use RunExperiment.
 func RunExperimentReport(id string, opt ExperimentOptions, rp ExperimentRunParams) (*ExperimentReport, error) {
-	return RunExperimentReportContext(context.Background(), id, opt, rp)
+	return RunExperiment(context.Background(), id, WithExperimentOptions(opt), WithRunParams(rp))
 }
 
-// RunExperimentReportContext is RunExperimentReport with cancellation.
+// RunExperimentReportContext regenerates one table/figure with
+// cancellation.
+//
+// Deprecated: use RunExperiment.
 func RunExperimentReportContext(ctx context.Context, id string, opt ExperimentOptions, rp ExperimentRunParams) (*ExperimentReport, error) {
-	return experiments.Run(ctx, id, opt, rp)
+	return RunExperiment(ctx, id, WithExperimentOptions(opt), WithRunParams(rp))
 }
 
 // DefaultExperimentOptions returns full-fidelity experiment settings.

@@ -2,6 +2,7 @@ package mct_test
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -9,7 +10,8 @@ import (
 )
 
 func TestQuickstartFlow(t *testing.T) {
-	m, err := mct.NewMachine("lbm", mct.StaticBaseline())
+	ctx := context.Background()
+	m, err := mct.NewMachine(ctx, "lbm", mct.StaticBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -17,7 +19,7 @@ func TestQuickstartFlow(t *testing.T) {
 	ro.SamplingTotalInsts = 900_000
 	ro.SampleUnitInsts = 10_000
 	ro.BaselineInsts = 100_000
-	rt, err := mct.NewRuntimeOpts(m, mct.DefaultObjective(8), ro)
+	rt, err := mct.NewRuntime(ctx, m, mct.DefaultObjective(8), mct.WithRuntimeOptions(ro))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -53,20 +55,22 @@ func TestFacadeInventory(t *testing.T) {
 }
 
 func TestFacadeEvaluate(t *testing.T) {
-	m, err := mct.Evaluate("zeusmp", 100_000, mct.DefaultConfig())
+	ctx := context.Background()
+	m, err := mct.Evaluate(ctx, "zeusmp", 100_000, mct.DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if m.IPC <= 0 {
 		t.Fatalf("IPC = %v", m.IPC)
 	}
-	if _, err := mct.Evaluate("nope", 100, mct.DefaultConfig()); err == nil {
+	if _, err := mct.Evaluate(ctx, "nope", 100, mct.DefaultConfig()); err == nil {
 		t.Fatal("unknown benchmark must error")
 	}
 }
 
 func TestFacadeMixMachine(t *testing.T) {
-	mm, err := mct.NewMixMachine("mix1", mct.StaticBaseline())
+	ctx := context.Background()
+	mm, err := mct.NewMixMachine(ctx, "mix1", mct.StaticBaseline())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +79,7 @@ func TestFacadeMixMachine(t *testing.T) {
 	ro.SampleUnitInsts = 4_000
 	ro.BaselineInsts = 50_000
 	ro.WarmupAccesses = 100_000
-	rt, err := mct.NewMultiRuntime(mm, mct.DefaultObjective(8), ro)
+	rt, err := mct.NewMultiRuntime(ctx, mm, mct.DefaultObjective(8), mct.WithRuntimeOptions(ro))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,15 +93,16 @@ func TestFacadeMixMachine(t *testing.T) {
 }
 
 func TestRunExperimentSpace(t *testing.T) {
+	ctx := context.Background()
 	var buf bytes.Buffer
 	opt := mct.QuickExperimentOptions()
-	if err := mct.RunExperiment("space", &buf, opt, mct.DefaultExperimentRunParams()); err != nil {
+	if _, err := mct.RunExperiment(ctx, "space", mct.WithExperimentOptions(opt), mct.WithOutput(&buf)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "2030") {
 		t.Fatalf("space report wrong:\n%s", buf.String())
 	}
-	if err := mct.RunExperiment("nope", &buf, opt, mct.DefaultExperimentRunParams()); err == nil {
+	if _, err := mct.RunExperiment(ctx, "nope", mct.WithExperimentOptions(opt)); err == nil {
 		t.Fatal("unknown experiment must error")
 	}
 }

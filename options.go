@@ -1,0 +1,105 @@
+package mct
+
+import (
+	"io"
+
+	"mct/internal/obs"
+)
+
+// Observability types, re-exported from internal/obs.
+type (
+	// Registry is a deterministic set of named counters, gauges and
+	// fixed-bucket histograms. One registry can serve a machine, its
+	// runtime and the evaluation engine at once (pass it via
+	// WithObserver); its sorted JSON dump is byte-identical at any worker
+	// count.
+	Registry = obs.Registry
+	// TraceEvent is one observation on the trace stream: progress from
+	// sweeps and experiments, decision traces from the runtime.
+	TraceEvent = obs.Event
+	// TraceSink consumes trace events (must be safe for concurrent use).
+	TraceSink = obs.TraceSink
+)
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// callOpts is the merged option state of one facade call.
+type callOpts struct {
+	sim     *SimOptions
+	runtime *RuntimeOptions
+	exp     *ExperimentOptions
+	rp      *ExperimentRunParams
+	reg     *Registry
+	sink    TraceSink
+	out     io.Writer
+	workers int
+	// workersSet distinguishes WithWorkers(0) ("use GOMAXPROCS") from
+	// "option absent".
+	workersSet bool
+}
+
+// Option configures one facade call. Every entry point accepts any option;
+// options that do not apply to a call are ignored, so one option slice can
+// be reused across NewMachine, NewRuntime and RunExperiment.
+type Option func(*callOpts)
+
+// apply merges opts over defaults.
+func applyOpts(opts []Option) callOpts {
+	var c callOpts
+	for _, o := range opts {
+		if o != nil {
+			o(&c)
+		}
+	}
+	return c
+}
+
+// WithSimOptions sets explicit simulator options (default:
+// DefaultSimOptions).
+func WithSimOptions(o SimOptions) Option {
+	return func(c *callOpts) { c.sim = &o }
+}
+
+// WithRuntimeOptions sets explicit MCT runtime options (default:
+// DefaultRuntimeOptions).
+func WithRuntimeOptions(o RuntimeOptions) Option {
+	return func(c *callOpts) { c.runtime = &o }
+}
+
+// WithExperimentOptions sets explicit experiment driver options (default:
+// DefaultExperimentOptions).
+func WithExperimentOptions(o ExperimentOptions) Option {
+	return func(c *callOpts) { c.exp = &o }
+}
+
+// WithRunParams sets per-experiment scale knobs (default:
+// DefaultExperimentRunParams).
+func WithRunParams(rp ExperimentRunParams) Option {
+	return func(c *callOpts) { c.rp = &rp }
+}
+
+// WithObserver attaches a metrics registry to the call: machines publish
+// the cache/nvm families, runtimes the core family, and evaluation
+// fan-outs the engine family, all onto reg. Dump it with reg.DumpJSON().
+func WithObserver(reg *Registry) Option {
+	return func(c *callOpts) { c.reg = reg }
+}
+
+// WithTraceSink routes trace events — experiment/sweep progress and
+// runtime decision traces — to sink. Use TextProgress(w) for plain text.
+func WithTraceSink(sink TraceSink) Option {
+	return func(c *callOpts) { c.sink = sink }
+}
+
+// WithOutput sets the writer RunExperiment renders its text report to (by
+// default the report is only returned, not rendered).
+func WithOutput(w io.Writer) Option {
+	return func(c *callOpts) { c.out = w }
+}
+
+// WithWorkers bounds evaluation parallelism (0 = GOMAXPROCS). Results and
+// stable metric dumps are byte-identical at any worker count.
+func WithWorkers(n int) Option {
+	return func(c *callOpts) { c.workers = n; c.workersSet = true }
+}
