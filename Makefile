@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race bench-smoke sweep-bench obs-bench metrics-check verify
+.PHONY: all build vet lint lint-intra lint-inter lint-json test race bench-smoke sweep-bench obs-bench metrics-check verify
 
 all: verify
 
@@ -12,8 +12,17 @@ build:
 vet:
 	$(GO) vet ./...
 
-lint:
-	$(GO) run ./cmd/mctlint -baseline lint/baseline.json ./...
+lint: lint-intra lint-inter
+
+# Package-scoped rules only: fast, no whole-program load.
+lint-intra:
+	$(GO) run ./cmd/mctlint -skip detflow,allochot,lockflow -baseline lint/baseline.json ./...
+
+# Interprocedural rules (call graph + summaries) plus the CI artifacts:
+# the static call graph and the ranked hot-path allocation worklist.
+lint-inter:
+	$(GO) run ./cmd/mctlint -only detflow,allochot,lockflow -baseline lint/baseline.json \
+		-graph-json results/callgraph.json -allochot-json results/allochot.json ./...
 
 # Machine-readable findings, as archived by CI. Exit code is preserved.
 lint-json:

@@ -3,17 +3,35 @@
 //
 //	file:line: [rule] message
 //
-// exiting non-zero when anything is found. It is dependency-free (stdlib
-// go/ast + go/types only).
+// exiting non-zero when anything error-severity is found. It is
+// dependency-free (stdlib go/ast + go/types only).
 //
 // Usage:
 //
 //	mctlint ./...                        # whole module
 //	mctlint ./internal/...               # one subtree
 //	mctlint ./internal/sim               # one package
-//	mctlint -rules                       # list rules and exit
+//	mctlint -rules                       # list rules (severity, scope) and exit
+//	mctlint -only detflow,lockflow ./... # run a subset of the registry
+//	mctlint -skip allochot ./...         # run everything but a subset
 //	mctlint -json ./...                  # machine-readable findings (stable order)
 //	mctlint -baseline lint/baseline.json ./...  # fail only on NEW findings
+//	mctlint -baseline lint/baseline.json -stale-fatal ./...     # CI: stale entries fail
+//	mctlint -baseline lint/baseline.json -prune-baseline ./...  # rewrite dropping stale
+//	mctlint -graph-json graph.json ./...        # export the static call graph
+//	mctlint -allochot-json allocs.json ./...    # export the hot-path allocation worklist
+//
+// Rules are either package-scoped (one pass per package) or
+// program-scoped: the interprocedural rules (detflow, allochot, lockflow)
+// run over a whole-program view with a static call graph, so a run that
+// selects any of them loads the transitive module dependencies of the
+// requested packages too — findings are still reported only inside the
+// requested packages.
+//
+// Severity: each rule is "error" or "warn" (see -rules). Error findings
+// fail the run with exit 1; warn findings (audit-class, e.g. allochot's
+// allocation worklist) are printed and exported but do not affect the exit
+// code.
 //
 // -json emits the findings as a JSON array sorted by (file, line, col,
 // rule), with module-relative forward-slash paths, so the bytes are stable
@@ -23,7 +41,16 @@
 // subtracts it: only findings not in the baseline fail the run. Matching
 // ignores line numbers (edits above a finding must not churn the
 // baseline); each baseline entry absorbs at most one finding. Stale
-// baseline entries are reported on stderr but do not fail the run.
+// baseline entries are reported on stderr; -stale-fatal makes them fail
+// the run (CI uses this so the baseline only ever shrinks), and
+// -prune-baseline rewrites the file in place keeping only entries that
+// still match a finding.
+//
+// -graph-json writes the program's static call graph (nodes plus
+// call/dispatch/ref edges) and -allochot-json the ranked hot-path
+// allocation worklist, both in deterministic JSON for CI artifacts. Both
+// imply the whole-program load even when no interprocedural rule is
+// selected.
 //
 // Suppress a finding with a trailing comment (or one on the line above):
 //
@@ -41,14 +68,29 @@ import (
 )
 
 func main() {
-	rules := flag.Bool("rules", false, "list rules and exit")
+	rules := flag.Bool("rules", false, "list rules (name, severity, scope, doc) and exit")
 	jsonOut := flag.Bool("json", false, "emit findings as a stable JSON array")
 	baselinePath := flag.String("baseline", "", "accepted-findings JSON file; fail only on findings not in it")
+	only := flag.String("only", "", "comma-separated rule names to run exclusively")
+	skip := flag.String("skip", "", "comma-separated rule names to skip")
+	staleFatal := flag.Bool("stale-fatal", false, "fail when baseline entries match no finding")
+	pruneFlag := flag.Bool("prune-baseline", false, "rewrite the -baseline file keeping only entries that still match")
+	graphPath := flag.String("graph-json", "", "write the static call graph as JSON to this path")
+	allocPath := flag.String("allochot-json", "", "write the ranked hot-path allocation worklist as JSON to this path")
 	flag.Parse()
 
+	selected, err := selectRules(analysis.Analyzers(), *only, *skip)
+	if err != nil {
+		fatal(err)
+	}
+
 	if *rules {
-		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		for _, a := range selected {
+			scope := "package"
+			if a.Interprocedural() {
+				scope = "program"
+			}
+			fmt.Printf("%-14s %-5s %-8s %s\n", a.Name, a.EffectiveSeverity(), scope, a.Doc)
 		}
 		return
 	}
@@ -83,16 +125,47 @@ func main() {
 	}
 
 	var all []analysis.Diagnostic
+	var pkgs []*analysis.Package
 	for _, path := range paths {
 		pkg, err := loader.Load(path)
 		if err != nil {
 			fatal(err)
 		}
+		pkgs = append(pkgs, pkg)
 		pass := analysis.NewPass(loader, pkg)
-		all = append(all, analysis.RunAnalyzers(pass, analysis.Analyzers())...)
+		all = append(all, analysis.RunAnalyzers(pass, selected)...)
+	}
+
+	interprocedural := false
+	for _, a := range selected {
+		if a.Interprocedural() {
+			interprocedural = true
+			break
+		}
+	}
+	if interprocedural || *graphPath != "" || *allocPath != "" {
+		prog := analysis.NewProgram(loader, pkgs)
+		if interprocedural {
+			all = append(all, analysis.RunProgramAnalyzers(prog, selected)...)
+		}
+		if *graphPath != "" {
+			if err := writeArtifact(*graphPath, func() ([]byte, error) {
+				return graphJSON(moduleDir, prog.CallGraph())
+			}); err != nil {
+				fatal(err)
+			}
+		}
+		if *allocPath != "" {
+			if err := writeArtifact(*allocPath, func() ([]byte, error) {
+				return allochotJSON(moduleDir, analysis.AllochotWorklist(prog))
+			}); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
 	findings := toJSONDiagnostics(moduleDir, all)
+	applySeverities(findings, severityByRule(analysis.Analyzers()))
 
 	if *baselinePath != "" {
 		base, err := loadBaseline(*baselinePath)
@@ -102,8 +175,23 @@ func main() {
 		var stale int
 		findings, stale = filterBaseline(findings, base)
 		if stale > 0 {
-			fmt.Fprintf(os.Stderr, "mctlint: %d baseline entr%s no longer found (stale; tidy the baseline)\n",
+			fmt.Fprintf(os.Stderr, "mctlint: %d baseline entr%s no longer found (stale)\n",
 				stale, plural(stale, "y", "ies"))
+			if *pruneFlag {
+				retained := pruneBaseline(base, toJSONDiagnostics(moduleDir, all))
+				out, err := renderJSON(retained)
+				if err != nil {
+					fatal(err)
+				}
+				if err := os.WriteFile(*baselinePath, out, 0o644); err != nil {
+					fatal(fmt.Errorf("prune baseline: %w", err))
+				}
+				fmt.Fprintf(os.Stderr, "mctlint: pruned %s to %d entr%s\n",
+					*baselinePath, len(retained), plural(len(retained), "y", "ies"))
+			} else if *staleFatal {
+				fmt.Fprintln(os.Stderr, "mctlint: stale baseline entries are fatal (-stale-fatal); run with -prune-baseline to tidy")
+				os.Exit(1)
+			}
 		}
 	}
 
@@ -118,10 +206,99 @@ func main() {
 			fmt.Println(d)
 		}
 	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "mctlint: %d finding(s)\n", len(findings))
+	errs, warns := countBySeverity(findings)
+	if warns > 0 {
+		fmt.Fprintf(os.Stderr, "mctlint: %d warning(s)\n", warns)
+	}
+	if errs > 0 {
+		fmt.Fprintf(os.Stderr, "mctlint: %d finding(s)\n", errs)
 		os.Exit(1)
 	}
+}
+
+// selectRules filters the registry through -only and -skip (comma-separated
+// rule names). Unknown names are an error: a typo must not silently run
+// nothing.
+func selectRules(all []*analysis.Analyzer, only, skip string) ([]*analysis.Analyzer, error) {
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	parse := func(flagName, csv string) (map[string]bool, error) {
+		if csv == "" {
+			return nil, nil
+		}
+		set := map[string]bool{}
+		for _, n := range strings.Split(csv, ",") {
+			n = strings.TrimSpace(n)
+			if n == "" {
+				continue
+			}
+			if byName[n] == nil {
+				return nil, fmt.Errorf("-%s: unknown rule %q (see -rules)", flagName, n)
+			}
+			set[n] = true
+		}
+		return set, nil
+	}
+	onlySet, err := parse("only", only)
+	if err != nil {
+		return nil, err
+	}
+	skipSet, err := parse("skip", skip)
+	if err != nil {
+		return nil, err
+	}
+	var out []*analysis.Analyzer
+	for _, a := range all {
+		if onlySet != nil && !onlySet[a.Name] {
+			continue
+		}
+		if skipSet[a.Name] {
+			continue
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("rule selection left nothing to run")
+	}
+	return out, nil
+}
+
+// severityByRule maps every registry rule (plus the reserved "mctlint"
+// directive-error rule) to its effective severity.
+func severityByRule(all []*analysis.Analyzer) map[string]string {
+	out := map[string]string{"mctlint": "error"}
+	for _, a := range all {
+		out[a.Name] = a.EffectiveSeverity()
+	}
+	return out
+}
+
+func countBySeverity(ds []jsonDiagnostic) (errs, warns int) {
+	for _, d := range ds {
+		if d.Severity == "warn" {
+			warns++
+		} else {
+			errs++
+		}
+	}
+	return errs, warns
+}
+
+// writeArtifact renders and writes one JSON artifact, creating parent
+// directories as needed.
+func writeArtifact(path string, render func() ([]byte, error)) error {
+	out, err := render()
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, out, 0o644)
 }
 
 func plural(n int, one, many string) string {

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"mct/internal/analysis"
+)
+
+func ruleNames(as []*analysis.Analyzer) []string {
+	out := make([]string, len(as))
+	for i, a := range as {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func TestSelectRulesDefault(t *testing.T) {
+	all := analysis.Analyzers()
+	got, err := selectRules(all, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all) {
+		t.Errorf("no filters must select the whole registry: %d != %d", len(got), len(all))
+	}
+}
+
+func TestSelectRulesOnly(t *testing.T) {
+	got, err := selectRules(analysis.Analyzers(), "detflow, lockflow", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := ruleNames(got); len(names) != 2 || names[0] != "detflow" || names[1] != "lockflow" {
+		t.Errorf("-only detflow,lockflow selected %v", names)
+	}
+}
+
+func TestSelectRulesSkip(t *testing.T) {
+	all := analysis.Analyzers()
+	got, err := selectRules(all, "", "allochot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(all)-1 {
+		t.Errorf("-skip allochot selected %d rules, want %d", len(got), len(all)-1)
+	}
+	for _, a := range got {
+		if a.Name == "allochot" {
+			t.Error("allochot survived -skip allochot")
+		}
+	}
+}
+
+func TestSelectRulesOnlyAndSkipCompose(t *testing.T) {
+	got, err := selectRules(analysis.Analyzers(), "detflow,allochot,lockflow", "allochot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := ruleNames(got); len(names) != 2 || names[0] != "detflow" || names[1] != "lockflow" {
+		t.Errorf("composed filters selected %v", names)
+	}
+}
+
+func TestSelectRulesErrors(t *testing.T) {
+	if _, err := selectRules(analysis.Analyzers(), "detfow", ""); err == nil {
+		t.Error("typo in -only must error, not silently run nothing")
+	}
+	if _, err := selectRules(analysis.Analyzers(), "", "nosuchrule"); err == nil {
+		t.Error("unknown rule in -skip must error")
+	}
+	if _, err := selectRules(analysis.Analyzers(), "detflow", "detflow"); err == nil {
+		t.Error("empty selection must error")
+	}
+}
+
+func TestSeverityStamping(t *testing.T) {
+	sev := severityByRule(analysis.Analyzers())
+	if sev["allochot"] != "warn" {
+		t.Errorf("allochot severity = %q, want warn", sev["allochot"])
+	}
+	for _, rule := range []string{"detflow", "lockflow", "norandglobal", "mctlint"} {
+		if sev[rule] != "error" {
+			t.Errorf("%s severity = %q, want error", rule, sev[rule])
+		}
+	}
+
+	ds := []jsonDiagnostic{
+		{File: "a.go", Rule: "allochot", Message: "m"},
+		{File: "a.go", Rule: "detflow", Message: "m"},
+	}
+	applySeverities(ds, sev)
+	if ds[0].Severity != "warn" || ds[1].Severity != "error" {
+		t.Errorf("stamped severities = %q, %q", ds[0].Severity, ds[1].Severity)
+	}
+	errs, warns := countBySeverity(ds)
+	if errs != 1 || warns != 1 {
+		t.Errorf("countBySeverity = (%d, %d), want (1, 1)", errs, warns)
+	}
+}
+
+func TestPruneBaseline(t *testing.T) {
+	baseline := []jsonDiagnostic{
+		{File: "a.go", Line: 1, Rule: "goleak", Message: "m1"},
+		{File: "a.go", Line: 2, Rule: "goleak", Message: "m1"}, // duplicate key
+		{File: "gone.go", Line: 3, Rule: "floateq", Message: "old"},
+		{File: "b.go", Line: 4, Rule: "maprange", Message: "m2"},
+	}
+	findings := []jsonDiagnostic{
+		// Only ONE goleak instance remains, at a shifted line.
+		{File: "a.go", Line: 50, Rule: "goleak", Message: "m1"},
+		{File: "b.go", Line: 9, Rule: "maprange", Message: "m2"},
+	}
+	got := pruneBaseline(baseline, findings)
+	if len(got) != 2 {
+		t.Fatalf("retained %d entries, want 2: %+v", len(got), got)
+	}
+	// The first goleak entry is retained (order preserved), the duplicate
+	// and the gone.go entry are dropped.
+	if got[0] != baseline[0] || got[1] != baseline[3] {
+		t.Errorf("retained the wrong entries: %+v", got)
+	}
+}
+
+func TestPruneBaselineAllStale(t *testing.T) {
+	baseline := []jsonDiagnostic{{File: "gone.go", Rule: "floateq", Message: "old"}}
+	if got := pruneBaseline(baseline, nil); len(got) != 0 {
+		t.Errorf("clean tree must prune everything, kept %+v", got)
+	}
+}
+
+// TestStaleFatalSemantics pins the contract the CI gate relies on: the
+// filter reports stale counts, pruning retains exactly the live multiset,
+// and a pruned baseline re-filters with zero stale entries.
+func TestStaleFatalSemantics(t *testing.T) {
+	baseline := []jsonDiagnostic{
+		{File: "a.go", Rule: "goleak", Message: "m1"},
+		{File: "gone.go", Rule: "floateq", Message: "old"},
+	}
+	findings := []jsonDiagnostic{{File: "a.go", Line: 7, Rule: "goleak", Message: "m1"}}
+
+	fresh, stale := filterBaseline(findings, baseline)
+	if stale != 1 || len(fresh) != 0 {
+		t.Fatalf("filter = (%d fresh, %d stale), want (0, 1)", len(fresh), stale)
+	}
+	pruned := pruneBaseline(baseline, findings)
+	if _, stale := filterBaseline(findings, pruned); stale != 0 {
+		t.Errorf("pruned baseline still has %d stale entries", stale)
+	}
+}
+
+// TestArtifactRendering exercises the JSON exports over an empty worklist
+// and a synthetic one: valid JSON, newline-terminated, rank order kept.
+func TestArtifactRendering(t *testing.T) {
+	out, err := allochotJSON("/m", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(out) != "[]\n" {
+		t.Errorf("empty worklist = %q, want []\\n", out)
+	}
+
+	sites := []analysis.AllocSite{
+		{Func: "mct/internal/sim.step", Kind: "append", InLoop: true, Depth: 0},
+		{Func: "mct/internal/nvm.helper", Kind: "make", InLoop: false, Depth: 2},
+	}
+	out, err = allochotJSON("/m", sites)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(out)
+	if !strings.HasSuffix(s, "\n") {
+		t.Error("worklist JSON not newline-terminated")
+	}
+	if i, j := strings.Index(s, "sim.step"), strings.Index(s, "nvm.helper"); i < 0 || j < 0 || i > j {
+		t.Errorf("worklist order not preserved in render:\n%s", s)
+	}
+}

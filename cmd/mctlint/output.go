@@ -25,6 +25,10 @@ type jsonDiagnostic struct {
 	Col     int    `json:"col"`
 	Rule    string `json:"rule"`
 	Message string `json:"message"`
+	// Severity is derived from the rule ("error" or "warn"). It is omitted
+	// from baseline files written before the field existed and deliberately
+	// excluded from baseline matching.
+	Severity string `json:"severity,omitempty"`
 }
 
 // String renders the finding in the driver's classic text format.
@@ -99,6 +103,13 @@ func loadBaseline(path string) ([]jsonDiagnostic, error) {
 	return ds, nil
 }
 
+// applySeverities stamps each finding with its rule's severity.
+func applySeverities(ds []jsonDiagnostic, sev map[string]string) {
+	for i := range ds {
+		ds[i].Severity = sev[ds[i].Rule]
+	}
+}
+
 // baselineKey identifies a finding for baseline matching. Line and column
 // are deliberately excluded: edits above a finding shift it without
 // changing what it is, and a baseline that churns on every edit gets
@@ -129,4 +140,24 @@ func filterBaseline(findings, baseline []jsonDiagnostic) (fresh []jsonDiagnostic
 		stale += left
 	}
 	return fresh, stale
+}
+
+// pruneBaseline returns the baseline entries that still match a current
+// finding, multiset-aware: n findings with one key retain at most n
+// baseline entries with that key. Entry order (and so the rewritten file's
+// bytes) is preserved.
+func pruneBaseline(baseline, findings []jsonDiagnostic) []jsonDiagnostic {
+	have := map[baselineKey]int{}
+	for _, d := range findings {
+		have[baselineKey{d.File, d.Rule, d.Message}]++
+	}
+	retained := baseline[:0:0]
+	for _, b := range baseline {
+		k := baselineKey{b.File, b.Rule, b.Message}
+		if have[k] > 0 {
+			have[k]--
+			retained = append(retained, b)
+		}
+	}
+	return retained
 }

@@ -58,20 +58,43 @@ func (p *Pass) Reportf(pos token.Pos, rule, format string, args ...any) {
 	})
 }
 
-// Analyzer is one lint rule.
+// Analyzer is one lint rule. A rule is either package-scoped (Run set:
+// invoked once per type-checked package) or program-scoped (RunProgram set:
+// invoked once over a whole-program view with a call graph — see
+// program.go). Exactly one of the two should be set.
 type Analyzer struct {
 	// Name is the rule identifier used in output and ignore directives.
 	Name string
 	// Doc is a one-line description for the driver's -rules listing.
 	Doc string
-	// Run inspects the package and reports findings via pass.Reportf.
+	// Severity classifies findings for drivers and humans: "error" (default
+	// when empty — violates a correctness invariant) or "warn" (audit-class:
+	// worth a look, not necessarily a bug).
+	Severity string
+	// Run inspects one package and reports findings via pass.Reportf.
 	Run func(pass *Pass)
+	// RunProgram inspects the whole program and reports findings via
+	// prog.Reportf.
+	RunProgram func(prog *Program)
 }
 
+// EffectiveSeverity returns the rule's severity, defaulting to "error".
+func (a *Analyzer) EffectiveSeverity() string {
+	if a.Severity == "" {
+		return "error"
+	}
+	return a.Severity
+}
+
+// Interprocedural reports whether the rule is program-scoped (built on the
+// call-graph/summary layer rather than a single package pass).
+func (a *Analyzer) Interprocedural() bool { return a.RunProgram != nil }
+
 // Analyzers returns the default registry: every simulator-aware rule
-// shipped with mctlint. The first eight are syntactic; the last four are
+// shipped with mctlint. The first eight are syntactic; the next four are
 // flow-sensitive, built on the CFG/dataflow layer of cfg.go and
-// dataflow.go.
+// dataflow.go; the last three are interprocedural, built on the call-graph
+// and summary layer of callgraph.go and summaries.go.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoRandGlobal,
@@ -86,6 +109,9 @@ func Analyzers() []*Analyzer {
 		LockBalance,
 		GoLeak,
 		DeferLoop,
+		DetFlow,
+		AllocHot,
+		LockFlow,
 	}
 }
 
@@ -99,10 +125,11 @@ type ignoreDirective struct {
 
 const ignorePrefix = "mctlint:ignore"
 
-// parseIgnores extracts the ignore directives of a file, reporting
-// malformed ones (missing rule or reason) under the reserved rule name
-// "mctlint". Malformed directives suppress nothing.
-func parseIgnores(pass *Pass, file *ast.File) []ignoreDirective {
+// parseIgnores extracts the ignore directives of a file. Malformed
+// directives (missing rule or reason) suppress nothing; when malformed is
+// non-nil it is called with their positions so the package pass can report
+// them under the reserved rule name "mctlint".
+func parseIgnores(fset *token.FileSet, file *ast.File, malformed func(token.Pos)) []ignoreDirective {
 	var out []ignoreDirective
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
@@ -114,14 +141,15 @@ func parseIgnores(pass *Pass, file *ast.File) []ignoreDirective {
 			rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
 			fields := strings.Fields(rest)
 			if len(fields) < 2 {
-				pass.Reportf(c.Pos(), "mctlint",
-					"malformed ignore directive: want //mctlint:ignore <rule> <reason>")
+				if malformed != nil {
+					malformed(c.Pos())
+				}
 				continue
 			}
 			out = append(out, ignoreDirective{
 				rule:   fields[0],
 				reason: strings.Join(fields[1:], " "),
-				line:   pass.Fset.Position(c.Pos()).Line,
+				line:   fset.Position(c.Pos()).Line,
 				pos:    c.Pos(),
 			})
 		}
@@ -129,36 +157,43 @@ func parseIgnores(pass *Pass, file *ast.File) []ignoreDirective {
 	return out
 }
 
-// RunAnalyzers runs every analyzer over the package, applies ignore
-// directives, and returns the surviving findings sorted by position.
-func RunAnalyzers(pass *Pass, analyzers []*Analyzer) []Diagnostic {
-	for _, a := range analyzers {
-		a.Run(pass)
-	}
+// suppressKey identifies one (file, line, rule) suppression slot.
+type suppressKey struct {
+	file string
+	line int
+	rule string
+}
 
-	// A directive on line L suppresses matching findings on L and L+1
-	// (trailing comment or comment-above placement).
-	type key struct {
-		file string
-		line int
-		rule string
-	}
-	suppressed := map[key]bool{}
-	for _, f := range pass.Files {
-		fname := pass.Fset.Position(f.Pos()).Filename
-		for _, d := range parseIgnores(pass, f) {
-			suppressed[key{fname, d.line, d.rule}] = true
-			suppressed[key{fname, d.line + 1, d.rule}] = true
+// suppressionIndex collects the suppression slots of files: a directive on
+// line L suppresses matching findings on L and L+1 (trailing comment or
+// comment-above placement).
+func suppressionIndex(fset *token.FileSet, files []*ast.File, malformed func(token.Pos)) map[suppressKey]bool {
+	suppressed := map[suppressKey]bool{}
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, d := range parseIgnores(fset, f, malformed) {
+			suppressed[suppressKey{fname, d.line, d.rule}] = true
+			suppressed[suppressKey{fname, d.line + 1, d.rule}] = true
 		}
 	}
+	return suppressed
+}
 
+// applySuppression filters findings through the suppression index and
+// returns the survivors sorted by position.
+func applySuppression(diags []Diagnostic, suppressed map[suppressKey]bool) []Diagnostic {
 	var out []Diagnostic
-	for _, d := range pass.diags {
-		if d.Rule != "mctlint" && suppressed[key{d.Pos.Filename, d.Pos.Line, d.Rule}] {
+	for _, d := range diags {
+		if d.Rule != "mctlint" && suppressed[suppressKey{d.Pos.Filename, d.Pos.Line, d.Rule}] {
 			continue
 		}
 		out = append(out, d)
 	}
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -170,7 +205,45 @@ func RunAnalyzers(pass *Pass, analyzers []*Analyzer) []Diagnostic {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Rule < b.Rule
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
 	})
-	return out
+}
+
+// RunAnalyzers runs every package-scoped analyzer over the package, applies
+// ignore directives, and returns the surviving findings sorted by position.
+// Program-scoped analyzers in the list are skipped (see
+// RunProgramAnalyzers).
+func RunAnalyzers(pass *Pass, analyzers []*Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		if a.Run != nil {
+			a.Run(pass)
+		}
+	}
+	suppressed := suppressionIndex(pass.Fset, pass.Files, func(pos token.Pos) {
+		pass.Reportf(pos, "mctlint",
+			"malformed ignore directive: want //mctlint:ignore <rule> <reason>")
+	})
+	return applySuppression(pass.diags, suppressed)
+}
+
+// RunProgramAnalyzers runs every program-scoped analyzer over the program,
+// applies ignore directives of the analyzed packages, and returns the
+// surviving findings sorted by position. Malformed directives are not
+// re-reported here: the package pass over the same files already owns that
+// diagnostic.
+func RunProgramAnalyzers(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	for _, a := range analyzers {
+		if a.RunProgram != nil {
+			a.RunProgram(prog)
+		}
+	}
+	var files []*ast.File
+	for _, p := range prog.Analyze {
+		files = append(files, p.Files...)
+	}
+	suppressed := suppressionIndex(prog.Fset, files, nil)
+	return applySuppression(prog.takeDiagnostics(), suppressed)
 }

@@ -70,7 +70,9 @@ func fixtureWants(t *testing.T, dir string) []string {
 
 // loadFixture type-checks testdata/src/<rule> under an internal/ import path
 // (so internal-scoped rules apply) and returns the surviving findings of the
-// analyzers given.
+// analyzers given. Package-scoped analyzers run over the fixture package
+// alone; program-scoped analyzers run over a whole-program view of the
+// fixture plus whatever module packages it imports.
 func loadFixture(t *testing.T, rule string, analyzers []*Analyzer) []Diagnostic {
 	t.Helper()
 	loader, err := NewLoader(moduleRoot(t))
@@ -82,7 +84,16 @@ func loadFixture(t *testing.T, rule string, analyzers []*Analyzer) []Diagnostic 
 	if err != nil {
 		t.Fatalf("load fixture %s: %v", rule, err)
 	}
-	return RunAnalyzers(NewPass(loader, pkg), analyzers)
+	diags := RunAnalyzers(NewPass(loader, pkg), analyzers)
+	for _, a := range analyzers {
+		if a.Interprocedural() {
+			prog := NewProgram(loader, []*Package{pkg})
+			diags = append(diags, RunProgramAnalyzers(prog, analyzers)...)
+			sortDiagnostics(diags)
+			break
+		}
+	}
+	return diags
 }
 
 // TestAnalyzerFixtures asserts, for every registered rule, that the rule
@@ -177,13 +188,23 @@ func TestModuleTreeClean(t *testing.T) {
 			t.Errorf("default walk misses %s; the linter would not lint itself", self)
 		}
 	}
+	var all []*Package
 	for _, p := range paths {
 		pkg, err := loader.Load(p)
 		if err != nil {
 			t.Fatalf("load %s: %v", p, err)
 		}
+		all = append(all, pkg)
 		for _, d := range RunAnalyzers(NewPass(loader, pkg), Analyzers()) {
 			t.Errorf("unexpected finding: %s", d)
 		}
+	}
+	// The interprocedural rules must hold over the whole tree too: this is
+	// the in-repo proof that the determinism surfaces (report writers,
+	// obs.DumpJSON inputs, checkpoint encoders) are taint-free and that the
+	// hot path carries no unsanctioned allocations.
+	prog := NewProgram(loader, all)
+	for _, d := range RunProgramAnalyzers(prog, Analyzers()) {
+		t.Errorf("unexpected program finding: %s", d)
 	}
 }

@@ -222,6 +222,19 @@ func (l *Loader) PackageDirs(root string) ([]string, error) {
 // path.
 func (l *Loader) Load(path string) (*Package, error) { return l.load(path) }
 
+// Loaded returns every module-internal package the loader has type-checked
+// so far (requested packages and their transitive module dependencies),
+// sorted by import path. Fixture packages loaded with LoadFixture are not
+// cached and therefore not included.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // NewPass builds an analysis Pass for a loaded package.
 func NewPass(l *Loader, p *Package) *Pass {
 	return &Pass{

@@ -1,0 +1,42 @@
+// Fixture for the allochot rule: allocation sites in functions reachable
+// from a //mctlint:hotpath root are reported (including through plain
+// calls and closure references), unreachable functions stay silent, and
+// reasoned ignores sanction amortized growth.
+package allochot
+
+var sink []int
+
+var tasks []func()
+
+// step is the marked hot-path root.
+//
+//mctlint:hotpath
+func step(buf []int) []int {
+	for i := 0; i < 4; i++ {
+		buf = append(buf, i) // want allochot
+	}
+	//mctlint:ignore allochot fixture: amortized growth is sanctioned
+	buf = append(buf, 99)
+	enqueue(func() { // want allochot
+		sink = helper(sink)
+	})
+	return helper(buf)
+}
+
+// helper is one call level below the root: still hot.
+func helper(buf []int) []int {
+	scratch := make([]int, 8) // want allochot
+	_ = scratch
+	return buf
+}
+
+// enqueue receives the closure; the closure body is hot through the
+// reference edge, so helper's allocation above is found either way.
+func enqueue(f func()) {
+	tasks = append(tasks, f) // want allochot
+}
+
+// cold is unreachable from any root: its allocation is not hot.
+func cold() *int {
+	return new(int)
+}

@@ -1,0 +1,110 @@
+// Fixture for the detflow rule: interprocedural taint from nondeterminism
+// sources (wall clock, global rand, environment, map iteration order) to
+// determinism sinks (report tables and notes, stable obs instruments, gob
+// encoders), including a source injected two call levels above its sink.
+package detflow
+
+import (
+	"encoding/gob"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"mct/internal/experiments"
+	"mct/internal/obs"
+)
+
+func work() {}
+
+// measure creates the taint: the wall-clock source lives here, two call
+// levels above the AddRow sink reached through bad → record → sinkRow.
+func measure() float64 {
+	work()
+	return float64(time.Now().UnixNano())
+}
+
+// record forwards its argument toward the sink one level down.
+func record(t *experiments.Table, v float64) {
+	sinkRow(t, v)
+}
+
+// sinkRow is the sink frame: the tainted value enters the report table.
+func sinkRow(t *experiments.Table, v float64) {
+	t.AddRow("metric", strconv.FormatFloat(v, 'f', 3, 64))
+}
+
+// bad is the frontier: the real source marker meets record's summarized
+// sink here, so the finding lands on this call.
+func bad(t *experiments.Table) {
+	d := measure()
+	record(t, d) // want detflow
+}
+
+// good passes a deterministic parameter: only synthetic taint reaches the
+// sink, which feeds good's own summary instead of a report.
+func good(t *experiments.Table, deterministic float64) {
+	record(t, deterministic)
+}
+
+// env taints directly from the process environment.
+func env(t *experiments.Table) {
+	host, _ := os.LookupEnv("HOST")
+	t.AddRow("host", host) // want detflow
+}
+
+// notes hits the Report.Notes sink with a global-rand value.
+func notes(r *experiments.Report) {
+	r.Notes = append(r.Notes, strconv.Itoa(rand.Int())) // want detflow
+}
+
+// orderToGob streams map keys in iteration order into a gob encoder.
+func orderToGob(w io.Writer, m map[string]int) {
+	enc := gob.NewEncoder(w)
+	for k := range m {
+		if err := enc.Encode(k); err != nil { // want detflow
+			return
+		}
+	}
+}
+
+// sortedKeys is the sanctioned pattern: sorting sanitizes the order taint
+// before the rows are emitted.
+func sortedKeys(t *experiments.Table, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		t.AddRow(k, strconv.Itoa(m[k]))
+	}
+}
+
+// countAll feeds order-tainted values into a commutative sink: counter
+// adds are order-insensitive, so map iteration order is harmless here.
+func countAll(c *obs.Counter, m map[string]uint64) {
+	for _, v := range m {
+		c.Add(v)
+	}
+}
+
+// gauges contrasts the stable and volatile instrument surfaces: wall-clock
+// data may flow into a Volatile* instrument but not a stable one.
+func gauges(r *obs.Registry) {
+	stable := r.Gauge("fixture_stable")
+	vol := r.VolatileGauge("fixture_volatile")
+	now := float64(time.Now().UnixNano())
+	stable.Set(now) // want detflow
+	vol.Set(now)
+}
+
+// suppressed proves the ignore directive applies to interprocedural
+// findings too.
+func suppressed(t *experiments.Table) {
+	d := measure()
+	//mctlint:ignore detflow fixture: suppression must cover program-scoped rules
+	record(t, d)
+}

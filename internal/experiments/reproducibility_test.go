@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -243,5 +244,44 @@ func TestSweepKeyIncludesSimOptions(t *testing.T) {
 	// sharing would have been wrong, not just ugly.
 	if fmt.Sprintf("%v", sa.Baseline) == fmt.Sprintf("%v", sb.Baseline) {
 		t.Error("halving the LLC left baseline metrics identical; sim digest may not cover the changed field")
+	}
+}
+
+// TestModelComparisonReportDeterminism renders fig2 (the model-comparison
+// table that used to embed a wall-clock overhead column) twice and asserts
+// byte-identical reports. This is the regression guard for the detflow
+// finding that moved the fit/predict timing off the stable tables and onto
+// the progress stream: before that fix fig2 could never have a
+// byte-identity test at all.
+func TestModelComparisonReportDeterminism(t *testing.T) {
+	t.Setenv(cacheEnv, "")
+	defer ResetSweepCache()
+	opt := tinyOptions()
+	rp := DefaultRunParams()
+	rp.Trials = 1
+	rp.SampleCounts = []int{40}
+
+	render := func() string {
+		ResetSweepCache()
+		rep, err := Run(context.Background(), "fig2", opt, rp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		rep.Fprint(&buf)
+		return buf.String()
+	}
+
+	first := render()
+	if first == "" {
+		t.Fatal("empty report")
+	}
+	if strings.Contains(first, "overhead") && strings.Contains(first, "ms") {
+		// The stable table must not regrow a wall-clock column; overhead
+		// lives in the result struct and the progress stream only.
+		t.Errorf("fig2 report mentions a timing column again:\n%s", first)
+	}
+	if second := render(); first != second {
+		t.Errorf("same-seed fig2 reports differ\nfirst:\n%s\nsecond:\n%s", first, second)
 	}
 }

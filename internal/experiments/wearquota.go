@@ -51,7 +51,10 @@ func WearQuotaAblation(ctx context.Context, samples, trials int, opt Options) ([
 			return nil, nil, err
 		}
 		r := WearQuotaAblationResult{Benchmark: bench}
-		for variant, sw := range map[int]*Sweep{0: swNo, 1: swWQ} {
+		// Fixed slice order (not a map literal): variant 0/1 must evaluate
+		// in a deterministic sequence for the derived RNG streams and the
+		// report rows to be reproducible.
+		for variant, sw := range []*Sweep{swNo, swWQ} {
 			X := sw.Vectors()
 			rng := rng.Derive(opt.Seed, int64(variant))
 			for t := 0; t < 3; t++ {

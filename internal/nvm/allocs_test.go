@@ -1,0 +1,53 @@
+// Regression tests for the hot-path allocation fixes the allochot audit
+// drove: the in-flight op is held by value (no per-issue *inflight), and a
+// cancellation re-queues the write by shifting the existing queue storage
+// in place (no per-cancel slice rebuild). Once the queues are warm, the
+// controller's issue/read/cancel cycle allocates nothing.
+package nvm
+
+import (
+	"testing"
+
+	"mct/internal/config"
+)
+
+// TestWriteCancelSteadyStateAllocs drives the densest allocation path —
+// write issue, cancelling read, re-queue, drain — on a warm controller and
+// requires it to be allocation-free per operation.
+func TestWriteCancelSteadyStateAllocs(t *testing.T) {
+	p := smallParams()
+	cfg := config.Default()
+	cfg.FastCancellation = true
+	cfg.SlowCancellation = true
+	c := mustNew(t, cfg, p)
+
+	now := uint64(100)
+	cycle := func() {
+		// Issue a write, let it start its pulse, cancel it with a read to
+		// the same line, then drain so the re-queued write completes and
+		// the queue returns to empty (capacity retained).
+		now = c.Write(0, now)
+		c.Advance(now + 1)
+		now = c.Read(0, now+8)
+		c.Drain(c.Now())
+		if c.Now() > now {
+			now = c.Now()
+		}
+		now++
+	}
+	// Warm: first cycles grow the queue slices to their steady capacity.
+	for i := 0; i < 64; i++ {
+		cycle()
+	}
+
+	const rounds = 100
+	avg := testing.AllocsPerRun(5, func() {
+		for i := 0; i < rounds; i++ {
+			cycle()
+		}
+	})
+	if perCycle := avg / rounds; perCycle > 0.01 {
+		t.Errorf("write/cancel/drain cycle allocates %.4f objects (%.0f per %d cycles); "+
+			"the op-by-value and in-place re-queue fixes have regressed", perCycle, avg, rounds)
+	}
+}

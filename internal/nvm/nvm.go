@@ -202,9 +202,14 @@ type inflight struct {
 
 type bankState struct {
 	freeAt uint64
-	op     *inflight // write occupying the bank until freeAt, if any
-	writes []writeReq
-	eager  []writeReq
+	// op is the write occupying the bank until freeAt, valid only while
+	// opValid is set. Held by value: issueWrite runs once per write on the
+	// simulator's hot path, and a pointer here would heap-allocate every
+	// in-flight record.
+	op      inflight
+	opValid bool
+	writes  []writeReq
+	eager   []writeReq
 	// openRow is the row held in the row buffer (open-page policy);
 	// rowValid is false until the first activation.
 	openRow  uint64
@@ -409,25 +414,37 @@ func (c *Controller) eagerAllowed() bool {
 	return c.writeQLen == 0
 }
 
+// popFront removes q[0] by shifting the tail down one slot, preserving the
+// slice's backing array so subsequent appends reuse its capacity.
+func popFront(q []writeReq) []writeReq {
+	copy(q, q[1:])
+	return q[:len(q)-1]
+}
+
 func (c *Controller) advanceBank(b int, t uint64) {
 	bank := &c.banks[b]
 	for {
 		if bank.freeAt > t {
 			return
 		}
-		bank.op = nil // any prior op has completed by freeAt ≤ t
+		bank.opValid = false // any prior op has completed by freeAt ≤ t
 
 		var req writeReq
 		var isEager bool
 		switch {
+		// Pops shift in place rather than re-slicing from the front: a
+		// [1:] pop drifts the slice base through its backing array, so
+		// every refill append would reallocate. Keeping the base stable
+		// makes the warm issue/cancel cycle allocation-free (the queues
+		// are short, so the O(len) copy is cheap).
 		case len(bank.writes) > 0 && bank.writes[0].enq <= t:
 			req = bank.writes[0]
-			bank.writes = bank.writes[1:]
+			bank.writes = popFront(bank.writes)
 			c.writeQLen--
 			c.updateDrainMode()
 		case len(bank.eager) > 0 && bank.eager[0].enq <= t && c.eagerAllowed():
 			req = bank.eager[0]
-			bank.eager = bank.eager[1:]
+			bank.eager = popFront(bank.eager)
 			c.eagerQLen--
 			isEager = true
 		default:
@@ -459,7 +476,8 @@ func (c *Controller) issueWrite(b int, req writeReq, isEager bool) {
 	done := pulseStart + c.twp(ratio)
 	c.tokens[tok] = done
 	bank.freeAt = done
-	bank.op = &inflight{req: req, pulseStart: pulseStart, done: done, ratio: ratio, cancellable: cancellable, token: tok}
+	bank.op = inflight{req: req, pulseStart: pulseStart, done: done, ratio: ratio, cancellable: cancellable, token: tok}
+	bank.opValid = true
 
 	// Accounting. Wear and energy are charged per attempt: a cancelled
 	// attempt costs a full write of wear (the "extra writes" lifetime
@@ -514,15 +532,20 @@ func (c *Controller) Read(addr uint64, now uint64) uint64 {
 	b := c.bankOf(addr)
 	bank := &c.banks[b]
 
-	if op := bank.op; op != nil && bank.freeAt > now && op.cancellable &&
+	if op := &bank.op; bank.opValid && bank.freeAt > now && op.cancellable &&
 		!c.drainMode && c.pulseProgress(op, now) < c.p.CancelProgressLimit {
 		// Cancel the write in progress; it re-queues at the head. The read
-		// pays a small abort turnaround before the bank is usable.
+		// pays a small abort turnaround before the bank is usable. The
+		// requeue shifts in place instead of rebuilding the slice: this runs
+		// on the hot path, and the queue's capacity is already amortized.
 		c.st.CancelledWrites++
 		req := op.req
 		req.cancels++
 		req.enq = now
-		bank.writes = append([]writeReq{req}, bank.writes...)
+		//mctlint:ignore allochot amortized: grows the existing queue capacity, no per-cancel rebuild
+		bank.writes = append(bank.writes, writeReq{})
+		copy(bank.writes[1:], bank.writes)
+		bank.writes[0] = req
 		c.writeQLen++
 		c.updateDrainMode()
 		if c.writeQLen > c.st.WriteQueuePeak {
@@ -533,7 +556,7 @@ func (c *Controller) Read(addr uint64, now uint64) uint64 {
 		if op.done == c.tokens[op.token] {
 			c.tokens[op.token] = now
 		}
-		bank.op = nil
+		bank.opValid = false
 	}
 
 	start := max64(now, bank.freeAt)
@@ -550,7 +573,7 @@ func (c *Controller) Read(addr uint64, now uint64) uint64 {
 	}
 	cellDone := start + cell
 	bank.freeAt = cellDone
-	bank.op = nil
+	bank.opValid = false
 	busStart := max64(cellDone, c.busFreeAt)
 	c.busFreeAt = busStart + c.p.TBurst
 	final := busStart + c.p.TBurst
@@ -572,6 +595,7 @@ func (c *Controller) Write(addr uint64, now uint64) uint64 {
 		accepted = c.drainUntilSpace(now)
 	}
 	b := c.bankOf(addr)
+	//mctlint:ignore allochot amortized: bounded queue (WriteQueueCap) reuses its capacity across the run
 	c.banks[b].writes = append(c.banks[b].writes, writeReq{addr: addr, enq: accepted})
 	c.writeQLen++
 	depth := len(c.banks[b].writes)
@@ -629,6 +653,7 @@ func (c *Controller) EagerWrite(addr uint64, now uint64) bool {
 		return false
 	}
 	b := c.bankOf(addr)
+	//mctlint:ignore allochot amortized: bounded queue (EagerQueueCap) reuses its capacity across the run
 	c.banks[b].eager = append(c.banks[b].eager, writeReq{addr: addr, enq: now, eager: true})
 	c.eagerQLen++
 	c.advanceBank(b, c.now)

@@ -29,13 +29,9 @@ func (s Stats) Clone() Stats {
 }
 
 func (b bankState) clone() bankState {
-	n := b
+	n := b // op is held by value and copies with the struct
 	n.writes = append([]writeReq(nil), b.writes...)
 	n.eager = append([]writeReq(nil), b.eager...)
-	if b.op != nil {
-		op := *b.op
-		n.op = &op
-	}
 	return n
 }
 
@@ -144,7 +140,7 @@ func (c *Controller) Snapshot() Snapshot {
 			OpenRow:  b.openRow,
 			RowValid: b.rowValid,
 		}
-		if b.op != nil {
+		if b.opValid {
 			bs.Op = &InflightState{
 				Req:         reqToState(b.op.req),
 				PulseStart:  b.op.pulseStart,
@@ -198,7 +194,7 @@ func FromSnapshot(s Snapshot) (*Controller, error) {
 			rowValid: bs.RowValid,
 		}
 		if bs.Op != nil {
-			b.op = &inflight{
+			b.op = inflight{
 				req:         reqFromState(bs.Op.Req),
 				pulseStart:  bs.Op.PulseStart,
 				done:        bs.Op.Done,
@@ -206,6 +202,7 @@ func FromSnapshot(s Snapshot) (*Controller, error) {
 				cancellable: bs.Op.Cancellable,
 				token:       bs.Op.Token,
 			}
+			b.opValid = true
 		}
 		c.banks[i] = b
 	}

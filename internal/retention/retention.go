@@ -18,6 +18,7 @@ package retention
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"mct/internal/rng"
 	"mct/internal/trace"
@@ -162,10 +163,19 @@ func Simulate(benchmark string, accesses int, cfg Config, p Params, seed int64) 
 		// → 0.2 memory cycles per instruction; a constant-rate proxy).
 		now += uint64(a.InstGap / 5)
 
-		// Scrub epoch: rewrite all live fast lines durably.
+		// Scrub epoch: rewrite all live fast lines durably. The live set is
+		// drained in sorted line order so bank-occupancy updates are applied
+		// in a reproducible sequence — the final state happens to be
+		// order-independent today, but future edits to this loop must not be
+		// able to introduce map-order nondeterminism silently.
 		for cfg.WriteRatio < 1 && now >= nextScrub {
-			for line, deadline := range liveFast {
-				if nextScrub > deadline {
+			scrub := make([]uint64, 0, len(liveFast))
+			for line := range liveFast {
+				scrub = append(scrub, line)
+			}
+			slices.Sort(scrub)
+			for _, line := range scrub {
+				if nextScrub > liveFast[line] {
 					m.Violations++
 				}
 				b := int(line % uint64(p.Banks)) //mctlint:ignore cyclecast remainder is bounded by the bank count

@@ -1,0 +1,130 @@
+// Dynamic cross-check of the static allochot audit: the inner loop's
+// measured allocation rate must agree with what the worklist says — the
+// only allocation sites reachable from the Machine.step hotpath root are
+// the explicitly suppressed amortized NVM queue appends, so the warmed-up
+// steady state allocates (almost) nothing per access.
+package sim
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mct/internal/analysis"
+	"mct/internal/config"
+	"mct/internal/trace"
+)
+
+func BenchmarkMachineStep(b *testing.B) {
+	spec, err := trace.ByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(spec, config.Default(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.RunAccesses(10000) // warm the caches and queue capacities
+	b.ReportAllocs()
+	b.ResetTimer()
+	m.RunAccesses(b.N)
+}
+
+// TestStepSteadyStateAllocs is the measurement half of the cross-check: a
+// warmed machine runs thousands of accesses with a per-access allocation
+// budget far below one. The bound is loose (windowMetrics itself allocates
+// its result maps once per RunAccesses call) but fails loudly if an
+// unsuppressed per-access allocation sneaks into the hot path.
+func TestStepSteadyStateAllocs(t *testing.T) {
+	spec, err := trace.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(spec, config.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunAccesses(20000) // warm: queue capacities reach steady state
+
+	const accesses = 2000
+	avg := testing.AllocsPerRun(5, func() {
+		m.RunAccesses(accesses)
+	})
+	// windowMetrics allocates a bounded handful of objects per call; the
+	// budget of 0.05 allocs/access (100 per window) leaves room for that
+	// plus rare amortized queue growth, and nothing else.
+	if perAccess := avg / accesses; perAccess > 0.05 {
+		t.Errorf("hot path allocates %.4f objects per access (%.0f per %d-access window); "+
+			"the allochot worklist promises only amortized queue appends", perAccess, avg, accesses)
+	}
+}
+
+// TestStepWorklistMatchesSuppressions is the static half: every allocation
+// site the audit finds under the Machine.step root must be one of the
+// reasoned //mctlint:ignore sites in internal/nvm (the amortized queue
+// appends). A new entry here means either hoist the allocation or argue
+// its amortization in a suppression — and extend this list.
+func TestStepWorklistMatchesSuppressions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the module tree")
+	}
+	loader, err := analysis.NewLoader(moduleRootDir(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.Load(loader.ModulePath() + "/internal/sim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := analysis.NewProgram(loader, []*analysis.Package{pkg})
+
+	stepRoot := "(*" + loader.ModulePath() + "/internal/sim.Machine).step"
+	allowed := map[string]bool{
+		// The three amortized NVM queue appends, each carrying a reasoned
+		// ignore directive at the site.
+		"(*" + loader.ModulePath() + "/internal/nvm.Controller).Read":       true,
+		"(*" + loader.ModulePath() + "/internal/nvm.Controller).Write":      true,
+		"(*" + loader.ModulePath() + "/internal/nvm.Controller).EagerWrite": true,
+	}
+	seen := 0
+	for _, site := range analysis.AllochotWorklist(prog) {
+		if !underRoot(prog, stepRoot, site.Func) {
+			continue
+		}
+		seen++
+		if !allowed[site.Func] {
+			t.Errorf("unexpected hot-path allocation site %s (%s at %s:%d); hoist it or add a reasoned suppression",
+				site.Func, site.Kind, site.Pos.Filename, site.Pos.Line)
+		}
+	}
+	if seen == 0 {
+		t.Error("worklist found no sites under Machine.step; the audit root or the cross-check is broken")
+	}
+}
+
+// underRoot reports whether fn is reachable from the named root in the
+// program's call graph.
+func underRoot(prog *analysis.Program, root, fn string) bool {
+	r := prog.LookupFunc(root)
+	target := prog.LookupFunc(fn)
+	if r == nil || target == nil {
+		return false
+	}
+	_, ok := prog.CallGraph().Reachable([]*analysis.FuncInfo{r})[target]
+	return ok
+}
+
+// moduleRootDir resolves the go.mod directory (two levels above this
+// package).
+func moduleRootDir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := filepath.Clean(filepath.Join(wd, "..", ".."))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("module root not found at %s: %v", root, err)
+	}
+	return root
+}

@@ -116,7 +116,10 @@ func (m *MultiMachine) beginWindow() {
 	m.winStartStats = m.ctrl.Stats()
 }
 
-// stepCore advances the least-advanced core by one access.
+// stepCore advances the least-advanced core by one access. Hot-path root:
+// the multi-program inner loop.
+//
+//mctlint:hotpath
 func (m *MultiMachine) stepCore() {
 	core := 0
 	for i := 1; i < m.opt.Cores; i++ {

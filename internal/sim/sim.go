@@ -203,7 +203,11 @@ func (m *Machine) memNow() uint64 {
 	return uint64(m.cpuCycles / m.opt.CPUCyclesPerMemCycle)
 }
 
-// step executes one trace access.
+// step executes one trace access. It is the simulator's inner loop: the
+// hotpath directive below makes every function it reaches subject to the
+// allochot allocation audit.
+//
+//mctlint:hotpath
 func (m *Machine) step(a trace.Access) {
 	o := &m.opt
 	m.cpuCycles += float64(a.InstGap) * o.BaseCPI

@@ -196,7 +196,10 @@ const (
 	coldRegionBase = 0x8000_0000
 )
 
-// Next produces the next access in the stream.
+// Next produces the next access in the stream. Hot-path root: one call
+// per simulated access.
+//
+//mctlint:hotpath
 func (g *Generator) Next() Access {
 	ph := &g.spec.Phases[g.phaseIdx]
 
