@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-intra lint-inter lint-json test race bench-smoke sweep-bench obs-bench metrics-check verify
+.PHONY: all build vet lint lint-intra lint-inter lint-json test race bench-smoke sweep-bench obs-bench mem-smoke profile metrics-check verify
 
 all: verify
 
@@ -37,10 +37,24 @@ race:
 # Quick end-to-end check that the mctbench binary still runs an experiment
 # and that the warm/cold evaluation micro-benchmarks still compile and run:
 # the parallel-determinism tests exercise the engine, this exercises the CLI
-# and the bench harness.
+# and the bench harness. The batched-step-loop benchmark is the streaming
+# pipeline's allocation gate: its companion test asserts exactly 0
+# allocs/op at steady state.
 bench-smoke:
 	$(GO) run ./cmd/mctbench -experiment space -quick -quiet
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate(WarmClone|ColdRebuild)' -benchtime 5x .
+	$(GO) test -run '^$$' -bench BenchmarkBatchedStepLoop -benchtime 200000x ./internal/sim
+	$(GO) test -run TestBatchedStepLoopZeroAllocs -count 1 ./internal/sim
+
+# Memory-boundedness smoke: stream a 50M-access evaluation under a fixed
+# GOMEMLIMIT and fail unless cumulative allocation stays far below what
+# materializing the trace (~1.2 GB) would need.
+mem-smoke:
+	GOMEMLIMIT=192MiB $(GO) run ./cmd/mctbench -mem-smoke 50000000 -mem-smoke-alloc-max 67108864
+
+# Capture CPU+heap pprof profiles of the quick sweeps into results/.
+profile:
+	$(GO) run ./cmd/mctbench -profile -quick -quiet
 
 # Wall-clock comparison of cold-rebuild vs warm-clone sweeps on every
 # benchmark; verifies the two are identical and writes
@@ -61,4 +75,4 @@ metrics-check:
 	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -workers 4 -metrics-out results/metrics-w4.json >/dev/null
 	cmp results/metrics-w1.json results/metrics-w4.json
 
-verify: build vet lint test race bench-smoke
+verify: build vet lint test race bench-smoke mem-smoke

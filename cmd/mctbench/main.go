@@ -10,6 +10,8 @@
 //	mctbench -list                         # list experiment IDs
 //	mctbench -sweep-bench -quick           # time cold vs warm-clone sweeps
 //	mctbench -obs-bench                    # gate observability overhead
+//	mctbench -profile -quick               # pprof a sweep into results/
+//	mctbench -mem-smoke 50000000           # memory-boundedness smoke
 //	mctbench -experiment fig1 -quick -metrics-out results/BENCH_metrics.json
 //
 // -sweep-bench measures the warm-start refactor: for each benchmark it runs
@@ -31,6 +33,19 @@
 // results/BENCH_obs.json, and fails (exit 1) when the instrumented run is
 // more than -obs-overhead-max slower. The layer publishes cumulative-stats
 // deltas only at window boundaries, so the expected overhead is ~0%.
+//
+// -profile runs the selected benchmarks' sweeps under the CPU profiler and
+// snapshots the post-run heap, writing results/PROFILE_cpu.pprof and
+// results/PROFILE_heap.pprof for `go tool pprof`. This is the profiling
+// hook behind the streaming-pipeline optimizations: layout and allocation
+// changes in the cache/nvm/trace hot paths are justified against these
+// profiles, not intuition.
+//
+// -mem-smoke N streams N accesses through one evaluation and fails unless
+// cumulative allocation stays under -mem-smoke-alloc-max — the
+// memory-boundedness proof of the streaming pipeline (materializing the
+// trace would allocate 24 bytes per access, ~1.2 GB at N=50M). Run it under
+// a fixed GOMEMLIMIT to also demonstrate the live heap fits a small budget.
 package main
 
 import (
@@ -43,11 +58,15 @@ import (
 	"os/signal"
 	"path/filepath"
 	"reflect"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"mct"
+	"mct/internal/config"
 	"mct/internal/experiments"
+	"mct/internal/sim"
 )
 
 func main() {
@@ -62,10 +81,13 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
 		quiet   = flag.Bool("quiet", false, "suppress progress output")
 		asJSON  = flag.Bool("json", false, "emit structured JSON instead of text tables")
-		swBench = flag.Bool("sweep-bench", false, "time cold-rebuild vs warm-clone sweeps and write results/BENCH_sweep.json")
-		obBench = flag.Bool("obs-bench", false, "gate observability overhead and write results/BENCH_obs.json")
-		obMax   = flag.Float64("obs-overhead-max", 0.03, "maximum tolerated -obs-bench slowdown (fraction)")
-		metrics = flag.String("metrics-out", "", "write a sorted JSON metrics dump of the experiment runs to this file")
+		swBench  = flag.Bool("sweep-bench", false, "time cold-rebuild vs warm-clone sweeps and write results/BENCH_sweep.json")
+		obBench  = flag.Bool("obs-bench", false, "gate observability overhead and write results/BENCH_obs.json")
+		obMax    = flag.Float64("obs-overhead-max", 0.03, "maximum tolerated -obs-bench slowdown (fraction)")
+		profile  = flag.Bool("profile", false, "capture CPU+heap pprof profiles of the sweeps into results/")
+		memSmoke = flag.Int("mem-smoke", 0, "stream N accesses through one evaluation and gate total allocation (memory-boundedness smoke)")
+		memMax   = flag.Int64("mem-smoke-alloc-max", 256<<20, "maximum tolerated cumulative allocation in bytes for -mem-smoke")
+		metrics  = flag.String("metrics-out", "", "write a sorted JSON metrics dump of the experiment runs to this file")
 	)
 	flag.Parse()
 
@@ -105,6 +127,21 @@ func main() {
 	if *obBench {
 		if err := runObsBench(ctx, *obMax); err != nil {
 			fail("obs-bench", err)
+		}
+		return
+	}
+	if *profile {
+		if err := runProfile(ctx, opt); err != nil {
+			fail("profile", err)
+		}
+		return
+	}
+	if *memSmoke > 0 {
+		if *memMax <= 0 {
+			fail("mem-smoke", fmt.Errorf("-mem-smoke-alloc-max must be positive, got %d", *memMax))
+		}
+		if err := runMemSmoke(*memSmoke, uint64(*memMax)); err != nil { //mctlint:ignore cyclecast guarded: *memMax is rejected above unless positive
+			fail("mem-smoke", err)
 		}
 		return
 	}
@@ -259,6 +296,93 @@ func runSweepBench(ctx context.Context, opt experiments.Options) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", out)
+	return nil
+}
+
+// runProfile runs the selected benchmarks' warm sweeps under the CPU
+// profiler, then snapshots the heap, writing both profiles into results/.
+// Caches are disabled so the profile measures real simulation, and the
+// sweeps are the same workload -sweep-bench times — profile what you
+// optimize.
+func runProfile(ctx context.Context, opt experiments.Options) error {
+	if err := os.Unsetenv("MCT_SWEEP_CACHE"); err != nil {
+		return err
+	}
+	experiments.ResetSweepCache()
+	cpuPath := filepath.Join("results", "PROFILE_cpu.pprof")
+	heapPath := filepath.Join("results", "PROFILE_heap.pprof")
+	if err := os.MkdirAll("results", 0o755); err != nil {
+		return err
+	}
+	cf, err := os.Create(cpuPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(cf); err != nil {
+		cf.Close() //mctlint:ignore uncheckederr the profiler start error is the one worth reporting
+		return err
+	}
+	t0 := time.Now()
+	for _, bench := range opt.Benchmarks {
+		if _, err := experiments.RunSweep(ctx, bench, false, opt); err != nil {
+			pprof.StopCPUProfile()
+			cf.Close() //mctlint:ignore uncheckederr the sweep error is the one worth reporting
+			return err
+		}
+	}
+	pprof.StopCPUProfile()
+	if err := cf.Close(); err != nil {
+		return err
+	}
+	// Heap profile after a GC: what the sweeps left live, without transient
+	// garbage — the number the O(batch) memory claim is about.
+	runtime.GC()
+	hf, err := os.Create(heapPath)
+	if err != nil {
+		return err
+	}
+	if err := pprof.WriteHeapProfile(hf); err != nil {
+		hf.Close() //mctlint:ignore uncheckederr the profile write error is the one worth reporting
+		return err
+	}
+	if err := hf.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("profiled %d benchmark sweeps in %v\nwrote %s and %s\n",
+		len(opt.Benchmarks), time.Since(t0).Round(time.Millisecond), cpuPath, heapPath)
+	fmt.Printf("inspect with: go tool pprof %s\n", cpuPath)
+	return nil
+}
+
+// runMemSmoke streams n accesses through a single evaluation and fails
+// unless cumulative heap allocation stays under maxAlloc bytes. A
+// materialize-everything pipeline cannot pass at large n: the trace slice
+// alone allocates n × 24 bytes (1.2 GB at n=50M), while the streaming
+// pipeline allocates machine construction plus a fixed batch buffer,
+// independent of n.
+func runMemSmoke(n int, maxAlloc uint64) error {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	t0 := time.Now()
+	met, err := sim.Evaluate("lbm", n, config.Default(), sim.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	sec := time.Since(t0).Seconds()
+	runtime.ReadMemStats(&after)
+	grew := after.TotalAlloc - before.TotalAlloc
+	naive := uint64(n) * 24 //mctlint:ignore cyclecast n is a validated positive flag
+	fmt.Printf("mem-smoke: %d accesses in %.1fs (%.1f M acc/s), IPC %.3f\n",
+		n, sec, float64(n)/sec/1e6, met.IPC)
+	fmt.Printf("mem-smoke: allocated %.1f MiB cumulative (limit %.1f MiB; materialized trace alone would be %.1f MiB), live heap %.1f MiB\n",
+		float64(grew)/(1<<20), float64(maxAlloc)/(1<<20), float64(naive)/(1<<20), float64(after.HeapAlloc)/(1<<20))
+	if lim := os.Getenv("GOMEMLIMIT"); lim != "" {
+		fmt.Printf("mem-smoke: ran under GOMEMLIMIT=%s\n", lim)
+	}
+	if grew > maxAlloc {
+		return fmt.Errorf("cumulative allocation %d bytes exceeds the %d-byte gate: the pipeline is not memory-bounded", grew, maxAlloc)
+	}
 	return nil
 }
 

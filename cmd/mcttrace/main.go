@@ -1,7 +1,8 @@
 // Command mcttrace inspects the synthetic workload generators: per-window
 // access intensity, read/write mix, footprint and locality — useful for
 // verifying the cross-application diversity the learning framework relies
-// on.
+// on. Traces are streamed in batches, never materialized, so arbitrarily
+// long profiles run in O(batch) memory (plus the footprint line set).
 //
 // Usage:
 //
@@ -18,6 +19,9 @@ import (
 	"mct/internal/trace"
 )
 
+// batchSize is the streaming granularity (matches sim.StepBatchSize).
+const batchSize = 4096
+
 func main() {
 	var (
 		bench    = flag.String("benchmark", "", "profile a single benchmark by window")
@@ -27,12 +31,13 @@ func main() {
 	)
 	flag.Parse()
 
+	buf := make([]trace.Access, batchSize)
+
 	if *bench == "" {
 		fmt.Printf("%-12s %8s %8s %9s %10s\n", "benchmark", "MPKI", "wr-frac", "insts(M)", "lines")
 		for _, name := range trace.Names() {
 			spec, _ := trace.ByName(name)
-			tr := trace.Collect(trace.NewGenerator(spec, rng.NewRand(*seed)), *accesses)
-			summary(name, tr)
+			summary(name, trace.NewGenerator(spec, rng.NewRand(*seed)), *accesses, buf)
 		}
 		return
 	}
@@ -42,42 +47,55 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mcttrace:", err)
 		os.Exit(1)
 	}
-	tr := trace.Collect(trace.NewGenerator(spec, rng.NewRand(*seed)), *accesses)
-	per := len(tr) / *windows
+	g := trace.NewGenerator(spec, rng.NewRand(*seed))
+	per := *accesses / *windows
 	if per == 0 {
-		per = len(tr)
+		per = *accesses
 	}
 	fmt.Printf("%-8s %10s %8s %8s\n", "window", "insts", "MPKI", "wr-frac")
-	for w := 0; w*per < len(tr); w++ {
-		chunk := tr[w*per : min((w+1)*per, len(tr))]
+	for w, done := 0, 0; done < *accesses; w++ {
+		n := min(per, *accesses-done)
 		var insts uint64
-		var writes int
-		for _, a := range chunk {
+		writes := 0
+		for rem := n; rem > 0; {
+			k := min(len(buf), rem)
+			g.Fill(buf[:k])
+			for _, a := range buf[:k] {
+				insts += uint64(a.InstGap)
+				if a.Write {
+					writes++
+				}
+			}
+			rem -= k
+		}
+		done += n
+		mpki := float64(n) / float64(insts) * 1000
+		fmt.Printf("%-8d %10d %8.2f %8.3f\n", w, insts, mpki, float64(writes)/float64(n))
+	}
+}
+
+// summary streams n accesses of src and prints aggregate intensity, write
+// mix, instruction count and unique-line footprint.
+func summary(name string, src trace.Source, n int, buf []trace.Access) {
+	var insts uint64
+	var writes int
+	lines := map[uint64]struct{}{}
+	for done := 0; done < n; {
+		k := min(len(buf), n-done)
+		src.Fill(buf[:k])
+		for _, a := range buf[:k] {
 			insts += uint64(a.InstGap)
 			if a.Write {
 				writes++
 			}
+			lines[a.Addr/trace.LineBytes] = struct{}{}
 		}
-		mpki := float64(len(chunk)) / float64(insts) * 1000
-		fmt.Printf("%-8d %10d %8.2f %8.3f\n", w, insts, mpki, float64(writes)/float64(len(chunk)))
-	}
-}
-
-func summary(name string, tr []trace.Access) {
-	var insts uint64
-	var writes int
-	lines := map[uint64]struct{}{}
-	for _, a := range tr {
-		insts += uint64(a.InstGap)
-		if a.Write {
-			writes++
-		}
-		lines[a.Addr/trace.LineBytes] = struct{}{}
+		done += k
 	}
 	fmt.Printf("%-12s %8.2f %8.3f %9.2f %10d\n",
 		name,
-		float64(len(tr))/float64(insts)*1000,
-		float64(writes)/float64(len(tr)),
+		float64(n)/float64(insts)*1000,
+		float64(writes)/float64(n),
 		float64(insts)/1e6,
 		len(lines))
 }

@@ -9,6 +9,13 @@
 // useless and their corresponding LLC dirty entries can be eagerly written
 // back." UselessPositions computes that N; NextEagerVictim yields dirty
 // lines resident in those positions.
+//
+// Layout: the line array is struct-of-arrays — one flat []uint64 of tags
+// and one flat []uint8 of valid/dirty bits, both indexed set*ways+pos with
+// each set ordered MRU..LRU. The hot operations (tag probe, LRU shift) touch
+// the tag lane almost exclusively, so SoA packs 8 tags per cache line of
+// simulator memory instead of 5⅓ padded AoS entries, and the LRU shift of
+// the metadata lane is a byte-wise copy.
 package cache
 
 import "fmt"
@@ -16,11 +23,11 @@ import "fmt"
 // LineBytes is the cache-line size in bytes.
 const LineBytes = 64
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
+// Metadata lane bits (one byte per line).
+const (
+	metaValid uint8 = 1 << 0
+	metaDirty uint8 = 1 << 1
+)
 
 // Stats aggregates cache event counters.
 type Stats struct {
@@ -35,10 +42,18 @@ type Stats struct {
 // Cache is a set-associative write-back LLC. It is not safe for concurrent
 // use.
 type Cache struct {
-	sets     [][]line // each set ordered MRU..LRU
+	// tags and meta are the SoA line array: entry set*ways+pos holds the tag
+	// and valid/dirty bits of the line at LRU stack position pos of that set
+	// (0 = MRU).
+	tags     []uint64
+	meta     []uint8
 	setCount int
 	ways     int
 	setMask  uint64
+	// setShift is log2(setCount), hoisted at construction so the per-access
+	// locate/reconstruct pair shifts by a constant instead of recounting
+	// bits.
+	setShift uint
 	stats    Stats
 
 	// eagerCursor remembers where the eager-victim scan left off so
@@ -62,14 +77,12 @@ func New(sizeBytes, ways int) (*Cache, error) {
 		return nil, fmt.Errorf("cache: set count %d is not a power of two", setCount)
 	}
 	c := &Cache{
-		sets:     make([][]line, setCount),
+		tags:     make([]uint64, setCount*ways),
+		meta:     make([]uint8, setCount*ways),
 		setCount: setCount,
 		ways:     ways,
 		setMask:  uint64(setCount - 1),
-	}
-	backing := make([]line, setCount*ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*ways : (i+1)*ways : (i+1)*ways]
+		setShift: uint(log2(setCount)),
 	}
 	c.stats.HitsByPos = make([]uint64, ways)
 	return c, nil
@@ -99,7 +112,7 @@ func (c *Cache) ResetStats() {
 
 func (c *Cache) locate(addr uint64) (setIdx int, tag uint64) {
 	lineAddr := addr / LineBytes
-	return int(lineAddr & c.setMask), lineAddr >> uint(log2(c.setCount)) //mctlint:ignore cyclecast masked value is bounded by the set count
+	return int(lineAddr & c.setMask), lineAddr >> c.setShift //mctlint:ignore cyclecast masked value is bounded by the set count
 }
 
 func log2(n int) int {
@@ -124,22 +137,28 @@ type Result struct {
 
 // Access performs a load (write=false) or store (write=true) at addr and
 // returns what the memory system must do: nothing (hit), a fill (read
-// miss), and possibly a dirty writeback (victim eviction).
+// miss), and possibly a dirty writeback (victim eviction). It is on the
+// simulator's per-access hot path: the probe walks the set's tag lane, and
+// the metadata lane is only touched on a hit or a fill.
 func (c *Cache) Access(addr uint64, write bool) Result {
 	setIdx, tag := c.locate(addr)
-	set := c.sets[setIdx]
+	base := setIdx * c.ways
+	tags := c.tags[base : base+c.ways]
+	meta := c.meta[base : base+c.ways]
 
-	for pos := range set {
-		if set[pos].valid && set[pos].tag == tag {
+	for pos := range tags {
+		if meta[pos]&metaValid != 0 && tags[pos] == tag {
 			c.stats.Hits++
 			c.stats.HitsByPos[pos]++
-			hitLine := set[pos]
+			m := meta[pos]
 			if write {
-				hitLine.dirty = true
+				m |= metaDirty
 			}
 			// Move to MRU.
-			copy(set[1:pos+1], set[:pos])
-			set[0] = hitLine
+			copy(tags[1:pos+1], tags[:pos])
+			copy(meta[1:pos+1], meta[:pos])
+			tags[0] = tag
+			meta[0] = m
 			return Result{Hit: true}
 		}
 	}
@@ -147,19 +166,24 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 	// Miss: evict LRU (last position), fill at MRU.
 	c.stats.Misses++
 	res := Result{FillAddr: addr &^ uint64(LineBytes-1)}
-	victim := set[c.ways-1]
-	if victim.valid && victim.dirty {
+	last := c.ways - 1
+	if meta[last]&(metaValid|metaDirty) == metaValid|metaDirty {
 		c.stats.Writebacks++
 		res.Writeback = true
-		res.WritebackAddr = c.reconstruct(setIdx, victim.tag)
+		res.WritebackAddr = c.reconstruct(setIdx, tags[last])
 	}
-	copy(set[1:], set[:c.ways-1])
-	set[0] = line{tag: tag, valid: true, dirty: write}
+	copy(tags[1:], tags[:last])
+	copy(meta[1:], meta[:last])
+	tags[0] = tag
+	meta[0] = metaValid
+	if write {
+		meta[0] |= metaDirty
+	}
 	return res
 }
 
 func (c *Cache) reconstruct(setIdx int, tag uint64) uint64 {
-	return (tag<<uint(log2(c.setCount)) | uint64(setIdx)) * LineBytes
+	return (tag<<c.setShift | uint64(setIdx)) * LineBytes
 }
 
 // UselessPositions returns how many LRU stack positions (from the
@@ -199,7 +223,9 @@ func (c *Cache) UselessPositions(eagerThreshold int) int {
 // least-recently-used positions. If found, the line is marked clean (its
 // data is now considered written back — a later store re-dirties it, making
 // the eager write wasted wear, as in the paper), and its address is
-// returned.
+// returned. The scan reads only the one-byte metadata lane until it finds a
+// victim, so skipping clean sets costs a few cache lines of simulator
+// memory per set, not the full tag array.
 func (c *Cache) NextEagerVictim(uselessN, maxSets int) (addr uint64, ok bool) {
 	if uselessN <= 0 {
 		return 0, false
@@ -210,15 +236,16 @@ func (c *Cache) NextEagerVictim(uselessN, maxSets int) (addr uint64, ok bool) {
 	if maxSets <= 0 || maxSets > c.setCount {
 		maxSets = c.setCount
 	}
+	const valadirty = metaValid | metaDirty
 	for scanned := 0; scanned < maxSets; scanned++ {
 		setIdx := c.eagerCursor
 		c.eagerCursor = (c.eagerCursor + 1) % c.setCount
-		set := c.sets[setIdx]
+		base := setIdx * c.ways
 		for pos := c.ways - uselessN; pos < c.ways; pos++ {
-			if set[pos].valid && set[pos].dirty {
-				set[pos].dirty = false
+			if c.meta[base+pos]&valadirty == valadirty {
+				c.meta[base+pos] &^= metaDirty
 				c.stats.EagerWrites++
-				return c.reconstruct(setIdx, set[pos].tag), true
+				return c.reconstruct(setIdx, c.tags[base+pos]), true
 			}
 		}
 	}
@@ -230,17 +257,13 @@ func (c *Cache) NextEagerVictim(uselessN, maxSets int) (addr uint64, ok bool) {
 // one warmup (cache state does not depend on the NVM configuration).
 func (c *Cache) Clone() *Cache {
 	n := &Cache{
-		sets:        make([][]line, c.setCount),
+		tags:        append([]uint64(nil), c.tags...),
+		meta:        append([]uint8(nil), c.meta...),
 		setCount:    c.setCount,
 		ways:        c.ways,
 		setMask:     c.setMask,
+		setShift:    c.setShift,
 		eagerCursor: c.eagerCursor,
-	}
-	backing := make([]line, c.setCount*c.ways)
-	for i := range c.sets {
-		dst := backing[i*c.ways : (i+1)*c.ways : (i+1)*c.ways]
-		copy(dst, c.sets[i])
-		n.sets[i] = dst
 	}
 	n.stats = c.stats
 	n.stats.HitsByPos = append([]uint64(nil), c.stats.HitsByPos...)
@@ -251,11 +274,10 @@ func (c *Cache) Clone() *Cache {
 // helper).
 func (c *Cache) DirtyLines() int {
 	n := 0
-	for _, set := range c.sets {
-		for _, ln := range set {
-			if ln.valid && ln.dirty {
-				n++
-			}
+	const valadirty = metaValid | metaDirty
+	for _, m := range c.meta {
+		if m&valadirty == valadirty {
+			n++
 		}
 	}
 	return n

@@ -29,15 +29,15 @@ type Snapshot struct {
 	Stats       Stats
 }
 
-// Snapshot captures the cache's complete state for checkpointing.
+// Snapshot captures the cache's complete state for checkpointing. The
+// in-memory SoA lanes are re-interleaved into LineState records, so the
+// serialized format is layout-independent (and unchanged from the AoS era).
 //
-//mctlint:ignore clonefields setMask is derived from setCount and recomputed by New on restore
+//mctlint:ignore clonefields setMask and setShift are derived from setCount and recomputed by New on restore
 func (c *Cache) Snapshot() Snapshot {
-	lines := make([]LineState, 0, c.setCount*c.ways)
-	for _, set := range c.sets {
-		for _, ln := range set {
-			lines = append(lines, LineState{Tag: ln.tag, Valid: ln.valid, Dirty: ln.dirty})
-		}
+	lines := make([]LineState, len(c.tags))
+	for i, tag := range c.tags {
+		lines[i] = LineState{Tag: tag, Valid: c.meta[i]&metaValid != 0, Dirty: c.meta[i]&metaDirty != 0}
 	}
 	st := c.stats
 	st.HitsByPos = append([]uint64(nil), c.stats.HitsByPos...)
@@ -67,7 +67,15 @@ func FromSnapshot(s Snapshot) (*Cache, error) {
 		return nil, fmt.Errorf("cache: snapshot eager cursor %d outside [0,%d)", s.EagerCursor, c.setCount)
 	}
 	for i, ls := range s.Lines {
-		c.sets[i/c.ways][i%c.ways] = line{tag: ls.Tag, valid: ls.Valid, dirty: ls.Dirty}
+		c.tags[i] = ls.Tag
+		var m uint8
+		if ls.Valid {
+			m |= metaValid
+		}
+		if ls.Dirty {
+			m |= metaDirty
+		}
+		c.meta[i] = m
 	}
 	c.eagerCursor = s.EagerCursor
 	c.stats = s.Stats

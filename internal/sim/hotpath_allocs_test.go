@@ -30,6 +30,60 @@ func BenchmarkMachineStep(b *testing.B) {
 	m.RunAccesses(b.N)
 }
 
+// BenchmarkBatchedStepLoop measures the pure streaming inner loop — Fill a
+// reusable batch from the generator, StepBatch it through the machine —
+// with no window accounting. This is the loop long streaming runs spend
+// their lives in; TestBatchedStepLoopZeroAllocs pins it at exactly 0
+// allocs/op, and `make bench-smoke` reports its per-access cost.
+func BenchmarkBatchedStepLoop(b *testing.B) {
+	spec, err := trace.ByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := NewMachine(spec, config.Default(), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.RunAccesses(100_000) // steady state: caches warm, queue capacities amortized
+	buf := m.batchBuf()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		k := len(buf)
+		if rem := b.N - done; k > rem {
+			k = rem
+		}
+		m.gen.Fill(buf[:k])
+		m.StepBatch(buf[:k])
+		done += k
+	}
+}
+
+// TestBatchedStepLoopZeroAllocs: the steady-state batched step loop must
+// allocate nothing at all — not amortized-little, zero. The reusable batch
+// buffer is filled in place and every queue has reached its amortized
+// capacity, so any allocation here is a regression in the streaming hot
+// path (the per-access cost that multi-billion-access runs multiply).
+func TestBatchedStepLoopZeroAllocs(t *testing.T) {
+	spec, err := trace.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(spec, config.Default(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunAccesses(100_000)
+	buf := m.batchBuf()
+	avg := testing.AllocsPerRun(10, func() {
+		m.gen.Fill(buf)
+		m.StepBatch(buf)
+	})
+	if avg != 0 {
+		t.Errorf("steady-state batched step loop allocates %.2f objects per %d-access batch, want exactly 0", avg, len(buf))
+	}
+}
+
 // TestStepSteadyStateAllocs is the measurement half of the cross-check: a
 // warmed machine runs thousands of accesses with a per-access allocation
 // budget far below one. The bound is loose (windowMetrics itself allocates
@@ -60,10 +114,11 @@ func TestStepSteadyStateAllocs(t *testing.T) {
 }
 
 // TestStepWorklistMatchesSuppressions is the static half: every allocation
-// site the audit finds under the Machine.step root must be one of the
-// reasoned //mctlint:ignore sites in internal/nvm (the amortized queue
-// appends). A new entry here means either hoist the allocation or argue
-// its amortization in a suppression — and extend this list.
+// site the audit finds under the streaming hot-path roots — Machine.step,
+// the batched Machine.StepBatch, and the generator's Next/Fill — must be
+// one of the reasoned //mctlint:ignore sites in internal/nvm (the amortized
+// queue appends). A new entry here means either hoist the allocation or
+// argue its amortization in a suppression — and extend this list.
 func TestStepWorklistMatchesSuppressions(t *testing.T) {
 	if testing.Short() {
 		t.Skip("loads and type-checks the module tree")
@@ -78,27 +133,55 @@ func TestStepWorklistMatchesSuppressions(t *testing.T) {
 	}
 	prog := analysis.NewProgram(loader, []*analysis.Package{pkg})
 
-	stepRoot := "(*" + loader.ModulePath() + "/internal/sim.Machine).step"
-	allowed := map[string]bool{
-		// The three amortized NVM queue appends, each carrying a reasoned
-		// ignore directive at the site.
-		"(*" + loader.ModulePath() + "/internal/nvm.Controller).Read":       true,
-		"(*" + loader.ModulePath() + "/internal/nvm.Controller).Write":      true,
-		"(*" + loader.ModulePath() + "/internal/nvm.Controller).EagerWrite": true,
+	roots := map[string]struct {
+		allowed   map[string]bool
+		wantSites bool // the root must reach at least one (suppressed) site
+	}{
+		"(*" + loader.ModulePath() + "/internal/sim.Machine).step": {
+			allowed: map[string]bool{
+				// The three amortized NVM queue appends, each carrying a
+				// reasoned ignore directive at the site.
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Read":       true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Write":      true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).EagerWrite": true,
+			},
+			wantSites: true,
+		},
+		// The batched loop reaches exactly what step reaches: batching
+		// amortizes call overhead, it must not introduce allocations.
+		"(*" + loader.ModulePath() + "/internal/sim.Machine).StepBatch": {
+			allowed: map[string]bool{
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Read":       true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Write":      true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).EagerWrite": true,
+			},
+			wantSites: true,
+		},
+		// The generator side of the streaming loop is allocation-free
+		// outright: Fill writes into the caller-owned batch.
+		"(*" + loader.ModulePath() + "/internal/trace.Generator).Fill": {allowed: map[string]bool{}},
+		"(*" + loader.ModulePath() + "/internal/trace.Generator).Next": {allowed: map[string]bool{}},
 	}
-	seen := 0
-	for _, site := range analysis.AllochotWorklist(prog) {
-		if !underRoot(prog, stepRoot, site.Func) {
+	worklist := analysis.AllochotWorklist(prog)
+	for root, want := range roots {
+		if prog.LookupFunc(root) == nil {
+			t.Errorf("hot-path root %s not found in the call graph; the audit root or the cross-check is broken", root)
 			continue
 		}
-		seen++
-		if !allowed[site.Func] {
-			t.Errorf("unexpected hot-path allocation site %s (%s at %s:%d); hoist it or add a reasoned suppression",
-				site.Func, site.Kind, site.Pos.Filename, site.Pos.Line)
+		seen := 0
+		for _, site := range worklist {
+			if !underRoot(prog, root, site.Func) {
+				continue
+			}
+			seen++
+			if !want.allowed[site.Func] {
+				t.Errorf("unexpected allocation site %s under hot-path root %s (%s at %s:%d); hoist it or add a reasoned suppression",
+					site.Func, root, site.Kind, site.Pos.Filename, site.Pos.Line)
+			}
 		}
-	}
-	if seen == 0 {
-		t.Error("worklist found no sites under Machine.step; the audit root or the cross-check is broken")
+		if want.wantSites && seen == 0 {
+			t.Errorf("worklist found no sites under %s; the audit root or the cross-check is broken", root)
+		}
 	}
 }
 

@@ -22,14 +22,20 @@ func warmupConfig() config.Config { return config.Default() }
 // evaluations: one machine (trace generator, LLC and NVM controller) has
 // been warmed once under a fixed warmup configuration, and every evaluation
 // clones the whole warm machine, switches it to the configuration under
-// test, and replays only the identical measurement trace. This is what
+// test, and streams only the identical measurement window. This is what
 // makes brute-force sweeps of thousands of configurations affordable and
 // fair: the warmup — the one cost per-configuration parallelism cannot
 // remove — is paid once per benchmark instead of once per configuration.
 //
+// The measurement trace is never materialized: the warm machine's generator
+// sits exactly at the end of warmup, so each evaluation's clone regenerates
+// the measurement stream from its own cloned generator — the identical
+// stream for every configuration (the trace is a pure function of
+// generator state), in O(StepBatchSize) memory instead of O(measure).
+//
 // Concurrency contract: after Prepare returns, a Prepared is immutable —
 // Evaluate only reads the warm machine (via Clone, which never writes to
-// its receiver) and the materialized trace, and builds all mutable
+// its receiver and shares nothing mutable), and builds all mutable
 // simulation state per call. Any number of goroutines may therefore call
 // Evaluate on one Prepared concurrently, and each evaluation's result
 // depends only on its configuration — never on what other evaluations run
@@ -38,14 +44,18 @@ type Prepared struct {
 	Spec trace.Spec
 	opt  Options
 
-	warmup int
-	warm   *Machine
-	tr     []trace.Access
+	warmup   int
+	nMeasure int
+	warm     *Machine
+	// genState is the generator state at the measurement cut (== the warm
+	// machine's generator position); kept so Trace can rematerialize the
+	// measurement stream on demand without touching the warm machine.
+	genState trace.GeneratorState
 }
 
 // Prepare warms a machine with warmup accesses of the named benchmark
-// (under warmupConfig) and materializes measure accesses for evaluation.
-// warmup ≤ 0 uses DefaultWarmupAccesses.
+// (under warmupConfig); evaluations then stream measure accesses from the
+// warmed position. warmup ≤ 0 uses DefaultWarmupAccesses.
 func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, error) {
 	if measure <= 0 {
 		return nil, fmt.Errorf("sim: non-positive measurement length %d", measure)
@@ -62,27 +72,32 @@ func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, err
 		return nil, err
 	}
 	// Warm the whole machine: LLC contents, controller queues/row buffers,
-	// and warmup-accrued wear (subtracted out by window accounting).
-	for i := 0; i < warmup; i++ {
-		m.step(m.gen.Next())
-	}
+	// and warmup-accrued wear (subtracted out by window accounting). The
+	// generator is left exactly at the measurement cut.
+	m.runOwn(warmup)
 	return &Prepared{
-		Spec:   spec,
-		opt:    opt,
-		warmup: warmup,
-		warm:   m,
-		tr:     trace.Collect(m.gen, measure),
+		Spec:     spec,
+		opt:      opt,
+		warmup:   warmup,
+		nMeasure: measure,
+		warm:     m,
+		genState: m.gen.Snapshot(),
 	}, nil
 }
 
-// Trace returns the measurement trace (shared; do not mutate).
-func (p *Prepared) Trace() []trace.Access { return p.tr }
+// Trace materializes the measurement access stream. Each call regenerates a
+// fresh slice from the measurement-cut generator state, so callers own the
+// result outright: mutating it cannot perturb evaluations (which stream
+// from cloned generator state and never read a shared slice).
+func (p *Prepared) Trace() []trace.Access {
+	return trace.Collect(trace.FromState(p.genState), p.nMeasure)
+}
 
 // Evaluate measures one configuration on the prepared workload by cloning
-// the warm machine and replaying the measurement window. It is safe for
-// concurrent use (see the Prepared concurrency contract) and returns the
-// same Metrics for the same configuration no matter how many evaluations
-// run in parallel.
+// the warm machine and streaming the measurement window from the clone's
+// own generator. It is safe for concurrent use (see the Prepared
+// concurrency contract) and returns the same Metrics for the same
+// configuration no matter how many evaluations run in parallel.
 func (p *Prepared) Evaluate(cfg config.Config) (Metrics, error) {
 	m := p.warm.Clone()
 	if err := m.SetConfig(cfg); err != nil {
@@ -102,27 +117,22 @@ func (p *Prepared) EvaluateCold(cfg config.Config) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	for i := 0; i < p.warmup; i++ {
-		m.step(m.gen.Next())
-	}
+	m.runOwn(p.warmup)
 	if err := m.SetConfig(cfg); err != nil {
 		return Metrics{}, err
 	}
 	return p.measure(m)
 }
 
-// measure replays the measurement trace on m (positioned at the end of
-// warmup) and returns the window metrics, with queued writes drained so
-// their wear and energy are charged.
+// measure streams the measurement window on m — whose generator is
+// positioned at the measurement cut — and returns the window metrics, with
+// queued writes drained so their wear and energy are charged. The stream is
+// identical for every configuration because every m starts from the same
+// generator state.
 func (p *Prepared) measure(m *Machine) (Metrics, error) {
 	m.beginWindow()
-	for _, a := range p.tr {
-		m.step(a)
-	}
-	final := m.ctrl.Drain(m.memNow())
-	if f := float64(final) * p.opt.CPUCyclesPerMemCycle; f > m.cpuCycles {
-		m.cpuCycles = f
-	}
+	m.runOwn(p.nMeasure)
+	m.finishRun()
 	return m.windowMetrics(), nil
 }
 
@@ -131,9 +141,7 @@ func (p *Prepared) measure(m *Machine) (Metrics, error) {
 // steady state. It returns the instructions executed.
 func (m *Machine) Warmup(n int) uint64 {
 	before := m.insts
-	for i := 0; i < n; i++ {
-		m.step(m.gen.Next())
-	}
+	m.runOwn(n)
 	m.beginWindow()
 	return m.insts - before
 }

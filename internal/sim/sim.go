@@ -149,6 +149,29 @@ type Machine struct {
 	// obsv is the optional observer (AttachObserver); nil means no
 	// instrumentation and zero overhead.
 	obsv *machineObs
+
+	// batch is the machine's reusable scratch buffer for streaming runs:
+	// allocated once on first use, refilled in place every iteration, never
+	// shared (Clone drops it so clones allocate their own — a shared backing
+	// array would race under concurrent evaluation). It is scratch, not
+	// state: absent from MachineState, and its contents are meaningless
+	// between runs.
+	batch []trace.Access
+}
+
+// StepBatchSize is the batch granularity of the streaming run loops: large
+// enough to amortize per-batch overhead into noise, small enough that a
+// machine's resident trace memory stays a fixed ~64 KB regardless of run
+// length.
+const StepBatchSize = 4096
+
+// batchBuf returns the machine's scratch batch buffer, allocating it on
+// first use.
+func (m *Machine) batchBuf() []trace.Access {
+	if m.batch == nil {
+		m.batch = make([]trace.Access, StepBatchSize)
+	}
+	return m.batch
 }
 
 // NewMachine builds a machine running spec under cfg.
@@ -248,18 +271,70 @@ func (m *Machine) step(a trace.Access) {
 	}
 }
 
+// StepBatch executes a batch of trace accesses. It is the batched inner
+// loop of streaming simulation — together with trace.Source.Fill it forms
+// the steady-state hot path, which must stay allocation-free.
+//
+//mctlint:hotpath
+func (m *Machine) StepBatch(batch []trace.Access) {
+	for i := range batch {
+		m.step(batch[i])
+	}
+}
+
+// runOwn streams n accesses from the machine's own generator through the
+// step loop, refilling the reusable batch buffer in place. The access
+// stream is byte-identical to n individual gen.Next/step pairs (the Fill
+// batch-size-invariance contract).
+func (m *Machine) runOwn(n int) {
+	buf := m.batchBuf()
+	for n > 0 {
+		k := len(buf)
+		if k > n {
+			k = n
+		}
+		m.gen.Fill(buf[:k])
+		m.StepBatch(buf[:k])
+		n -= k
+	}
+}
+
+// runSource streams src to exhaustion through the step loop via the
+// reusable batch buffer.
+func (m *Machine) runSource(src trace.Source) {
+	buf := m.batchBuf()
+	for {
+		k := src.Fill(buf)
+		if k == 0 {
+			return
+		}
+		m.StepBatch(buf[:k])
+	}
+}
+
 // RunAccesses executes n trace accesses and returns the metrics of that
 // window.
 func (m *Machine) RunAccesses(n int) Metrics {
 	m.beginWindow()
-	for i := 0; i < n; i++ {
-		m.step(m.gen.Next())
-	}
+	m.runOwn(n)
+	return m.windowMetrics()
+}
+
+// RunSource streams src to exhaustion through the machine — in reusable
+// batches, so memory stays O(StepBatchSize) however long the stream — and
+// returns the metrics of that window.
+func (m *Machine) RunSource(src trace.Source) Metrics {
+	m.beginWindow()
+	m.runSource(src)
 	return m.windowMetrics()
 }
 
 // RunInstructions executes trace accesses until at least n instructions
-// have committed in this window, returning the window metrics.
+// have committed in this window, returning the window metrics. It steps
+// per-access rather than batched: the stop condition depends on each
+// access's instruction gap, and prefetching a batch would advance the
+// generator past the window boundary, perturbing where the next window
+// starts.
 func (m *Machine) RunInstructions(n uint64) Metrics {
 	m.beginWindow()
 	target := m.insts + n
@@ -364,37 +439,49 @@ func diffStats(s0, s1 nvm.Stats) nvm.Stats {
 	return d
 }
 
-// EvaluateTrace runs a pre-materialized trace (identical for every
-// configuration — the fair-comparison methodology of trace-driven
-// simulation) on a fresh machine under cfg and returns the run metrics.
-// This is the hot path of brute-force "ideal" sweeps.
-func EvaluateTrace(tr []trace.Access, spec trace.Spec, cfg config.Config, opt Options) (Metrics, error) {
-	if err := opt.Validate(); err != nil {
-		return Metrics{}, err
+// finishRun drains queued writes so their wear and energy are charged to
+// the run, advancing the CPU clock if the drain outlasts it.
+func (m *Machine) finishRun() {
+	final := m.ctrl.Drain(m.memNow())
+	if f := float64(final) * m.opt.CPUCyclesPerMemCycle; f > m.cpuCycles {
+		m.cpuCycles = f
 	}
+}
+
+// EvaluateSource streams src to exhaustion on a fresh machine under cfg and
+// returns the run metrics (with queued writes drained so their wear and
+// energy are charged). This is the streaming core every evaluation
+// entrypoint reduces to: memory stays O(StepBatchSize) regardless of stream
+// length, so multi-billion-access runs are memory-bounded.
+func EvaluateSource(src trace.Source, spec trace.Spec, cfg config.Config, opt Options) (Metrics, error) {
 	m, err := NewMachine(spec, cfg, opt)
 	if err != nil {
 		return Metrics{}, err
 	}
 	m.beginWindow()
-	for _, a := range tr {
-		m.step(a)
-	}
-	// Drain queued writes so their wear and energy are charged to the run.
-	final := m.ctrl.Drain(m.memNow())
-	if f := float64(final) * opt.CPUCyclesPerMemCycle; f > m.cpuCycles {
-		m.cpuCycles = f
-	}
+	m.runSource(src)
+	m.finishRun()
 	return m.windowMetrics(), nil
 }
 
-// Evaluate materializes nAccesses of the named benchmark (seeded by
-// opt.Seed) and evaluates cfg on it.
+// EvaluateTrace runs a pre-materialized trace (identical for every
+// configuration — the fair-comparison methodology of trace-driven
+// simulation) on a fresh machine under cfg and returns the run metrics. It
+// is a thin wrapper over the streaming path: the slice is replayed
+// batch-by-batch, never copied.
+func EvaluateTrace(tr []trace.Access, spec trace.Spec, cfg config.Config, opt Options) (Metrics, error) {
+	return EvaluateSource(trace.NewReplay(tr), spec, cfg, opt)
+}
+
+// Evaluate streams nAccesses of the named benchmark (seeded by opt.Seed)
+// through a fresh machine under cfg. The stream is generated incrementally
+// — a thin wrapper over EvaluateSource, producing the byte-identical
+// metrics the old materialize-then-replay path did, in O(batch) memory.
 func Evaluate(benchmark string, nAccesses int, cfg config.Config, opt Options) (Metrics, error) {
 	spec, err := trace.ByName(benchmark)
 	if err != nil {
 		return Metrics{}, err
 	}
-	tr := trace.Collect(trace.NewGenerator(spec, rng.NewRand(opt.Seed)), nAccesses)
-	return EvaluateTrace(tr, spec, cfg, opt)
+	src := trace.Limit(trace.NewGenerator(spec, rng.NewRand(opt.Seed)), nAccesses)
+	return EvaluateSource(src, spec, cfg, opt)
 }

@@ -27,6 +27,11 @@ import (
 // perturbs the other. Options are pure values and copy by assignment.
 func (m *Machine) Clone() *Machine {
 	n := *m
+	// The scratch batch buffer is per-machine: dropping it here makes the
+	// clone allocate its own on first streaming run. Copying the slice
+	// header would share the backing array, a data race under concurrent
+	// Prepared.Evaluate.
+	n.batch = nil
 	n.gen = m.gen.Clone()
 	n.llc = m.llc.Clone()
 	n.ctrl = m.ctrl.Clone()
@@ -87,6 +92,8 @@ type MachineState struct {
 // are published first, so the captured registry accounts everything up to
 // the snapshot point and a restored machine (whose publisher baselines are
 // rebased to the restored stats) continues without gaps or double counts.
+//
+//mctlint:ignore clonefields batch is a scratch buffer, not state: a restored machine allocates its own on first streaming run
 func (m *Machine) Snapshot() MachineState {
 	var obsState *obs.State
 	if m.obsv != nil {

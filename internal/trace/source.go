@@ -1,0 +1,80 @@
+// Source is the streaming half of the trace package: a pull-based access
+// stream consumed batch-by-batch into caller-owned buffers. It is what lets
+// the simulator run traces of billions of accesses in O(batch) memory — the
+// stream is generated (or replayed) incrementally instead of materialized
+// whole. Implementations: *Generator (synthetic benchmarks, infinite),
+// *Replay (a materialized slice), Limit (a bounded view of any source), and
+// any future streaming multi-tenant generators.
+package trace
+
+// Source is a pull-based stream of accesses.
+//
+// Fill writes up to len(dst) accesses into dst and returns how many it
+// wrote. A return of n < len(dst) with len(dst) > 0 means the stream
+// exhausted after n accesses; subsequent calls return 0. Fill must be
+// batch-size invariant: splitting one stream across Fill calls of any sizes
+// yields the identical access sequence. Sources are not safe for concurrent
+// use.
+type Source interface {
+	Fill(dst []Access) int
+}
+
+var (
+	_ Source = (*Generator)(nil)
+	_ Source = (*Replay)(nil)
+	_ Source = (*limited)(nil)
+)
+
+// Replay replays a materialized access slice as a Source. The slice is
+// shared, not copied; it is read-only to the Replay.
+type Replay struct {
+	tr  []Access
+	pos int
+}
+
+// NewReplay returns a source that yields the accesses of tr in order, then
+// exhausts.
+func NewReplay(tr []Access) *Replay { return &Replay{tr: tr} }
+
+// Fill implements Source.
+func (r *Replay) Fill(dst []Access) int {
+	n := copy(dst, r.tr[r.pos:])
+	r.pos += n
+	return n
+}
+
+// Remaining returns how many accesses are left to replay.
+func (r *Replay) Remaining() int { return len(r.tr) - r.pos }
+
+// Reset rewinds the replay to the start of its slice.
+func (r *Replay) Reset() { r.pos = 0 }
+
+// limited bounds an underlying source to a fixed number of accesses.
+type limited struct {
+	src Source
+	n   int
+}
+
+// Limit returns a view of src that exhausts after n accesses (or earlier,
+// if src itself exhausts). The underlying source advances by exactly the
+// accesses the view delivers, so a bounded read leaves src positioned to
+// continue its stream.
+func Limit(src Source, n int) Source {
+	if n < 0 {
+		n = 0
+	}
+	return &limited{src: src, n: n}
+}
+
+// Fill implements Source.
+func (l *limited) Fill(dst []Access) int {
+	if l.n <= 0 {
+		return 0
+	}
+	if len(dst) > l.n {
+		dst = dst[:l.n]
+	}
+	got := l.src.Fill(dst)
+	l.n -= got
+	return got
+}

@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"testing"
+
+	"mct/internal/rng"
+)
+
+// TestFillBatchSizeInvariance: consuming a generator through Fill with any
+// batch size — including degenerate size 1 and a size far beyond the
+// consumed total — yields exactly the stream repeated Next calls produce.
+// This is the contract the streaming simulator's byte-identical-output
+// guarantee rests on.
+func TestFillBatchSizeInvariance(t *testing.T) {
+	const total = 10_000
+	for _, name := range Names() {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := NewGenerator(spec, rng.NewRand(11))
+		want := make([]Access, total)
+		for i := range want {
+			want[i] = ref.Next()
+		}
+		for _, batch := range []int{1, 7, 4096} {
+			g := NewGenerator(spec, rng.NewRand(11))
+			buf := make([]Access, batch)
+			got := make([]Access, 0, total)
+			for len(got) < total {
+				n := batch
+				if rem := total - len(got); n > rem {
+					n = rem
+				}
+				if filled := g.Fill(buf[:n]); filled != n {
+					t.Fatalf("%s: generator Fill returned %d, want %d (generators never exhaust)", name, filled, n)
+				}
+				got = append(got, buf[:n]...)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s: batch size %d diverged from Next at access %d: %+v vs %+v",
+						name, batch, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestFillMatchesNextInterleaved: mixing Next and Fill calls on one
+// generator still walks the single underlying stream.
+func TestFillMatchesNextInterleaved(t *testing.T) {
+	spec, err := ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewGenerator(spec, rng.NewRand(5))
+	want := Collect(ref, 600)
+
+	g := NewGenerator(spec, rng.NewRand(5))
+	var got []Access
+	buf := make([]Access, 64)
+	for len(got) < 600 {
+		got = append(got, g.Next(), g.Next(), g.Next())
+		g.Fill(buf[:47])
+		got = append(got, buf[:47]...)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("interleaved Next/Fill diverged at access %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReplay(t *testing.T) {
+	spec, err := ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := Collect(NewGenerator(spec, rng.NewRand(3)), 100)
+	r := NewReplay(tr)
+	if r.Remaining() != 100 {
+		t.Fatalf("fresh replay has %d remaining, want 100", r.Remaining())
+	}
+
+	buf := make([]Access, 33)
+	var got []Access
+	for {
+		n := r.Fill(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != len(tr) {
+		t.Fatalf("replay yielded %d accesses, want %d", len(got), len(tr))
+	}
+	for i := range tr {
+		if got[i] != tr[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("exhausted replay has %d remaining", r.Remaining())
+	}
+	if n := r.Fill(buf); n != 0 {
+		t.Fatalf("exhausted replay filled %d", n)
+	}
+	r.Reset()
+	if r.Remaining() != 100 {
+		t.Fatalf("reset replay has %d remaining, want 100", r.Remaining())
+	}
+	if n := r.Fill(buf); n != 33 || buf[0] != tr[0] {
+		t.Fatalf("reset replay restarts wrong: n=%d first=%+v", n, buf[0])
+	}
+}
+
+// TestLimit: a Limit view exhausts after exactly n accesses and leaves the
+// underlying source positioned to continue.
+func TestLimit(t *testing.T) {
+	spec, err := ByName("gups")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := NewGenerator(spec, rng.NewRand(9))
+	want := Collect(ref, 150)
+
+	g := NewGenerator(spec, rng.NewRand(9))
+	lim := Limit(g, 100)
+	buf := make([]Access, 64)
+	var got []Access
+	for {
+		n := lim.Fill(buf)
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if len(got) != 100 {
+		t.Fatalf("Limit(100) yielded %d accesses", len(got))
+	}
+	// The generator continues where the bounded view stopped.
+	g.Fill(buf[:50])
+	got = append(got, buf[:50]...)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("stream diverged at %d after a bounded read", i)
+		}
+	}
+
+	if n := Limit(g, -3).Fill(buf); n != 0 {
+		t.Fatalf("negative limit filled %d", n)
+	}
+	// Limit over an exhausting source stops at the source's end.
+	short := Limit(NewReplay(want[:10]), 100)
+	if n := short.Fill(buf); n != 10 {
+		t.Fatalf("limit over a 10-access replay filled %d", n)
+	}
+}

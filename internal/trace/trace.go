@@ -116,6 +116,14 @@ type Generator struct {
 	// addrBase offsets the whole address space (distinct per core in
 	// multi-program runs).
 	addrBase uint64
+
+	// gapForPhase/meanGap memoize the phase's mean instruction gap
+	// (1000/MPKI, floored at 1) so the hot generation loop pays the division
+	// once per phase instead of once per access. Derived state: recomputed
+	// on demand, deliberately absent from GeneratorState (a rebuilt
+	// generator re-derives it on its first access).
+	gapForPhase int
+	meanGap     float64
 }
 
 // NewGenerator returns a deterministic generator for spec drawing from the
@@ -129,7 +137,7 @@ func NewGenerator(spec Spec, r *rng.Rand) *Generator {
 	if r == nil {
 		panic("trace: nil rng; inject a seeded *rng.Rand (rng.NewRand)")
 	}
-	return &Generator{spec: spec, rnd: r}
+	return &Generator{spec: spec, rnd: r, gapForPhase: -1}
 }
 
 // NewGeneratorAt is NewGenerator with the address space offset by base
@@ -167,6 +175,8 @@ type GeneratorState struct {
 }
 
 // Snapshot captures the generator's complete state.
+//
+//mctlint:ignore clonefields gapForPhase/meanGap are a derived memo recomputed by Next on first use (FromState builds with gapForPhase=-1)
 func (g *Generator) Snapshot() GeneratorState {
 	return GeneratorState{
 		Spec:       g.spec,
@@ -196,18 +206,24 @@ const (
 	coldRegionBase = 0x8000_0000
 )
 
-// Next produces the next access in the stream. Hot-path root: one call
-// per simulated access.
+// Next produces the next access in the stream. Callers that consume whole
+// batches should prefer Fill, which amortizes the call overhead; the two
+// produce the identical stream (Fill is a loop over the same core).
 //
 //mctlint:hotpath
 func (g *Generator) Next() Access {
 	ph := &g.spec.Phases[g.phaseIdx]
 
-	// Mean instructions per access in this phase.
-	meanGap := 1000.0 / ph.MPKI
-	if meanGap < 1 {
-		meanGap = 1
+	// Mean instructions per access in this phase (memoized per phase).
+	if g.gapForPhase != g.phaseIdx {
+		mg := 1000.0 / ph.MPKI
+		if mg < 1 {
+			mg = 1
+		}
+		g.meanGap = mg
+		g.gapForPhase = g.phaseIdx
 	}
+	meanGap := g.meanGap
 	// Burst shaping: quiet spans stretch the gap.
 	gapMul := 1.0
 	if ph.BurstLen > 0 && ph.IdleMul > 1 {
@@ -267,12 +283,26 @@ func (g *Generator) Next() Access {
 	return Access{InstGap: instGap, Addr: g.addrBase + addr&^uint64(LineBytes-1), Write: write}
 }
 
-// Collect materializes the next n accesses of g into a slice.
+// Fill implements Source: it writes the next len(dst) accesses of the
+// stream into dst and returns len(dst) (a generator never exhausts). The
+// stream is exactly the one repeated Next calls produce, at any batch size —
+// the batch-size-invariance contract the streaming simulator relies on.
+// Hot-path root: the batched inner loop of streaming simulation.
+//
+//mctlint:hotpath
+func (g *Generator) Fill(dst []Access) int {
+	for i := range dst {
+		dst[i] = g.Next()
+	}
+	return len(dst)
+}
+
+// Collect materializes the next n accesses of g into a slice. It is a thin
+// wrapper over the streaming path (one Fill into a fresh slice); prefer
+// Fill with a reusable buffer when the trace does not need to be held whole.
 func Collect(g *Generator, n int) []Access {
 	out := make([]Access, n)
-	for i := range out {
-		out[i] = g.Next()
-	}
+	g.Fill(out)
 	return out
 }
 

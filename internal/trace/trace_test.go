@@ -287,3 +287,84 @@ func TestGeneratorSnapshotRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// TestSnapshotAtArbitraryCutPoints: a generator snapshotted at ANY position
+// in its stream — mid-burst, mid-phase, mid-cold-walk — and rebuilt via
+// FromState continues the byte-identical stream. This is the property the
+// streaming Prepared path rests on: it replays measurement streams from a
+// GeneratorState cut wherever warmup happened to stop. The cut offsets are
+// co-prime-ish with the burst lengths and phase schedules so cuts land at
+// many distinct burst/phase positions across benchmarks.
+func TestSnapshotAtArbitraryCutPoints(t *testing.T) {
+	const lookahead = 500
+	for _, name := range Names() {
+		spec, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewGeneratorAt(spec, rng.NewRand(23), 1<<33)
+		pos := 0
+		for _, cut := range []int{0, 1, 3, 17, 101, 757, 2048, 4999, 9973, 30011} {
+			// Advance to the cut point.
+			for ; pos < cut; pos++ {
+				g.Next()
+			}
+			st := g.Snapshot()
+			r := FromState(st)
+			// A second rebuild from the same state must also work (states
+			// are values; rebuilding must not consume them).
+			r2 := FromState(st)
+			for i := 0; i < lookahead; i++ {
+				want := g.Next()
+				if got := r.Next(); got != want {
+					t.Fatalf("%s: cut %d: rebuilt generator diverged at +%d: %+v vs %+v", name, cut, i, got, want)
+				}
+				if got := r2.Next(); got != want {
+					t.Fatalf("%s: cut %d: second rebuild diverged at +%d", name, cut, i)
+				}
+			}
+			pos += lookahead
+		}
+	}
+}
+
+// TestSnapshotCutMidBurst pins the mid-burst case explicitly: ocean's phase
+// schedule includes bursty phases, and a cut inside a quiet span must
+// preserve the burst position (gap stretching resumes where it left off).
+func TestSnapshotCutMidBurst(t *testing.T) {
+	spec, err := ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a bursty phase to target.
+	burst := uint64(0)
+	for _, ph := range spec.Phases {
+		if ph.BurstLen > 0 {
+			burst = ph.BurstLen
+			break
+		}
+	}
+	if burst == 0 {
+		t.Skip("ocean has no bursty phase")
+	}
+	g := NewGenerator(spec, rng.NewRand(41))
+	for i := 0; i < 50_000; i++ {
+		g.Next()
+		// Cut whenever we are strictly inside a quiet span (odd burst block,
+		// not at a boundary).
+		if g.burstPos > 0 && (g.burstPos/burst)%2 == 1 && g.burstPos%burst == burst/2 {
+			r := FromState(g.Snapshot())
+			if r.burstPos != g.burstPos {
+				t.Fatalf("burst position lost across snapshot: %d vs %d", r.burstPos, g.burstPos)
+			}
+			for j := 0; j < 200; j++ {
+				want := g.Next()
+				if got := r.Next(); got != want {
+					t.Fatalf("mid-burst cut diverged at +%d", j)
+				}
+			}
+			return
+		}
+	}
+	t.Fatal("never observed a mid-quiet-span position in 50k accesses")
+}
