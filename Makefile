@@ -14,14 +14,16 @@ vet:
 
 lint: lint-intra lint-inter
 
-# Package-scoped rules only: fast, no whole-program load.
+# Package-scoped rules only: fast, no whole-program load. Stale baseline
+# entries are fatal: the baseline may only shrink (prune with
+# `mctlint -prune-baseline`), never silently rot.
 lint-intra:
-	$(GO) run ./cmd/mctlint -skip detflow,allochot,lockflow -baseline lint/baseline.json ./...
+	$(GO) run ./cmd/mctlint -skip detflow,allochot,lockflow -baseline lint/baseline.json -stale-fatal ./...
 
 # Interprocedural rules (call graph + summaries) plus the CI artifacts:
 # the static call graph and the ranked hot-path allocation worklist.
 lint-inter:
-	$(GO) run ./cmd/mctlint -only detflow,allochot,lockflow -baseline lint/baseline.json \
+	$(GO) run ./cmd/mctlint -only detflow,allochot,lockflow -baseline lint/baseline.json -stale-fatal \
 		-graph-json results/callgraph.json -allochot-json results/allochot.json ./...
 
 # Machine-readable findings, as archived by CI. Exit code is preserved.
@@ -43,8 +45,8 @@ race:
 bench-smoke:
 	$(GO) run ./cmd/mctbench -experiment space -quick -quiet
 	$(GO) test -run '^$$' -bench 'BenchmarkEvaluate(WarmClone|ColdRebuild)' -benchtime 5x .
-	$(GO) test -run '^$$' -bench BenchmarkBatchedStepLoop -benchtime 200000x ./internal/sim
-	$(GO) test -run TestBatchedStepLoopZeroAllocs -count 1 ./internal/sim
+	$(GO) test -run '^$$' -bench 'Benchmark(Tiered)?BatchedStepLoop' -benchtime 200000x ./internal/sim
+	$(GO) test -run 'Test(Tiered)?BatchedStepLoopZeroAllocs' -count 1 ./internal/sim
 
 # Memory-boundedness smoke: stream a 50M-access evaluation under a fixed
 # GOMEMLIMIT and fail unless cumulative allocation stays far below what
@@ -69,10 +71,15 @@ obs-bench:
 	$(GO) run ./cmd/mctbench -obs-bench
 
 # Determinism check on the metrics dump itself: the same run at -workers 1
-# and -workers 4 must produce byte-identical stable dumps.
+# and -workers 4 must produce byte-identical stable dumps — once on the
+# stock llc>nvm pipeline and once with the DRAM tier interposed (the
+# dram.* metric family must be just as worker-count invariant).
 metrics-check:
 	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -workers 1 -metrics-out results/metrics-w1.json >/dev/null
 	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -workers 4 -metrics-out results/metrics-w4.json >/dev/null
 	cmp results/metrics-w1.json results/metrics-w4.json
+	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -dram -workers 1 -metrics-out results/metrics-dram-w1.json >/dev/null
+	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -dram -workers 4 -metrics-out results/metrics-dram-w4.json >/dev/null
+	cmp results/metrics-dram-w1.json results/metrics-dram-w4.json
 
 verify: build vet lint test race bench-smoke mem-smoke

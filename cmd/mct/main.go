@@ -52,6 +52,8 @@ func main() {
 		ckptSave = flag.String("checkpoint-save", "", "save the machine state to this file after the run")
 		ckptLoad = flag.String("checkpoint-load", "", "resume from a machine checkpoint instead of a fresh machine")
 		metrics  = flag.String("metrics-out", "", "write a sorted JSON metrics dump (cache/nvm/core/engine families) to this file after the run")
+		dram     = flag.Bool("dram", false, "insert the DRAM cache tier between LLC and NVM (hybrid hierarchy)")
+		dramTh   = flag.Int("dram-promote", 0, "DRAM hot-page promotion threshold (0 = tier default; requires -dram)")
 	)
 	flag.Parse()
 
@@ -72,6 +74,15 @@ func main() {
 	if *mix != "" && (*ckptSave != "" || *ckptLoad != "") {
 		fail(errors.New("checkpoints are single-core only; drop -mix or the -checkpoint flags"))
 	}
+	if *dramTh != 0 && !*dram {
+		fail(errors.New("-dram-promote requires -dram"))
+	}
+	if *dram && *ckptLoad != "" {
+		fail(errors.New("a checkpoint carries its own tier composition; drop -dram or -checkpoint-load"))
+	}
+	// tiers is the hierarchy composition every machine of this run is built
+	// with (MCT run and reference runs alike, so the comparison is fair).
+	tiers := mct.TierConfig{DRAMCache: *dram, DRAMPromoteThreshold: *dramTh}
 
 	// One registry serves every layer of the run: the machine's cache/nvm
 	// families, the runtime's core family, and the reference-run engine
@@ -88,7 +99,7 @@ func main() {
 	// comparable and are skipped.
 	var refCh chan refResult
 	if *mix == "" && *ckptLoad == "" {
-		refCh = startReferenceRuns(ctx, *bench, *insts, *workers, reg)
+		refCh = startReferenceRuns(ctx, *bench, *insts, *workers, tiers, reg)
 	}
 
 	var (
@@ -96,7 +107,7 @@ func main() {
 		err error
 	)
 	if *mix != "" {
-		mm, e := mct.NewMixMachine(ctx, *mix, mct.StaticBaseline(), mct.WithObserver(reg))
+		mm, e := mct.NewMixMachine(ctx, *mix, mct.StaticBaseline(), mct.WithTiers(tiers), mct.WithObserver(reg))
 		if e != nil {
 			fail(e)
 		}
@@ -125,7 +136,7 @@ func main() {
 				reg = m.Observer()
 			}
 		} else {
-			m, e = mct.NewMachine(ctx, *bench, mct.StaticBaseline(), mct.WithObserver(reg))
+			m, e = mct.NewMachine(ctx, *bench, mct.StaticBaseline(), mct.WithTiers(tiers), mct.WithObserver(reg))
 		}
 		if e != nil {
 			fail(e)
@@ -202,7 +213,7 @@ type refResult struct {
 // startReferenceRuns launches the default-system and static-baseline runs
 // on the identical workload in the background and returns a channel with
 // the ordered results.
-func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers int, reg *mct.Registry) chan refResult {
+func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers int, tiers mct.TierConfig, reg *mct.Registry) chan refResult {
 	refs := []struct {
 		label string
 		cfg   mct.Config
@@ -215,7 +226,7 @@ func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers
 		// the engine fan-out's deterministic counters here.
 		runs, err := engine.Map(ctx, len(refs), engine.Options{Workers: workers, Obs: reg},
 			func(ctx context.Context, i int) (refRun, error) {
-				m, err := mct.NewMachine(ctx, bench, refs[i].cfg)
+				m, err := mct.NewMachine(ctx, bench, refs[i].cfg, mct.WithTiers(tiers))
 				if err != nil {
 					return refRun{}, err
 				}

@@ -71,16 +71,16 @@ import (
 
 func main() {
 	var (
-		expID   = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		quick   = flag.Bool("quick", false, "reduced fidelity: strided space, short traces")
-		stride  = flag.Int("stride", 0, "override configuration-space stride (0 = preset)")
-		acc     = flag.Int("accesses", 0, "override trace length per evaluation (0 = preset)")
-		insts   = flag.Uint64("insts", 0, "override MCT run length in instructions (0 = preset)")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
-		workers = flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
-		quiet   = flag.Bool("quiet", false, "suppress progress output")
-		asJSON  = flag.Bool("json", false, "emit structured JSON instead of text tables")
+		expID    = flag.String("experiment", "all", "experiment ID (see -list) or 'all'")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		quick    = flag.Bool("quick", false, "reduced fidelity: strided space, short traces")
+		stride   = flag.Int("stride", 0, "override configuration-space stride (0 = preset)")
+		acc      = flag.Int("accesses", 0, "override trace length per evaluation (0 = preset)")
+		insts    = flag.Uint64("insts", 0, "override MCT run length in instructions (0 = preset)")
+		benches  = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all)")
+		workers  = flag.Int("workers", 0, "parallel evaluation workers (0 = GOMAXPROCS)")
+		quiet    = flag.Bool("quiet", false, "suppress progress output")
+		asJSON   = flag.Bool("json", false, "emit structured JSON instead of text tables")
 		swBench  = flag.Bool("sweep-bench", false, "time cold-rebuild vs warm-clone sweeps and write results/BENCH_sweep.json")
 		obBench  = flag.Bool("obs-bench", false, "gate observability overhead and write results/BENCH_obs.json")
 		obMax    = flag.Float64("obs-overhead-max", 0.03, "maximum tolerated -obs-bench slowdown (fraction)")
@@ -88,6 +88,8 @@ func main() {
 		memSmoke = flag.Int("mem-smoke", 0, "stream N accesses through one evaluation and gate total allocation (memory-boundedness smoke)")
 		memMax   = flag.Int64("mem-smoke-alloc-max", 256<<20, "maximum tolerated cumulative allocation in bytes for -mem-smoke")
 		metrics  = flag.String("metrics-out", "", "write a sorted JSON metrics dump of the experiment runs to this file")
+		dram     = flag.Bool("dram", false, "run experiments on the hybrid hierarchy: DRAM cache tier between LLC and NVM")
+		dramTh   = flag.Int("dram-promote", 0, "DRAM hot-page promotion threshold (0 = tier default; requires -dram)")
 	)
 	flag.Parse()
 
@@ -114,6 +116,15 @@ func main() {
 	if *benches != "" {
 		opt.Benchmarks = strings.Split(*benches, ",")
 	}
+	if *dramTh != 0 && !*dram {
+		fail("flags", errors.New("-dram-promote requires -dram"))
+	}
+	// The tier composition rides in the simulator options, so every
+	// machine of the invocation — experiments, benches, smokes — is built
+	// on the same hierarchy, and sweep-cache entries stay distinct per
+	// composition.
+	tiers := config.TierConfig{DRAMCache: *dram, DRAMPromoteThreshold: *dramTh}
+	opt.Sim.Tiers = tiers
 	opt.Workers = *workers
 	if !*quiet {
 		opt.Events = mct.TextProgress(os.Stderr)
@@ -140,7 +151,7 @@ func main() {
 		if *memMax <= 0 {
 			fail("mem-smoke", fmt.Errorf("-mem-smoke-alloc-max must be positive, got %d", *memMax))
 		}
-		if err := runMemSmoke(*memSmoke, uint64(*memMax)); err != nil { //mctlint:ignore cyclecast guarded: *memMax is rejected above unless positive
+		if err := runMemSmoke(*memSmoke, uint64(*memMax), tiers); err != nil { //mctlint:ignore cyclecast guarded: *memMax is rejected above unless positive
 			fail("mem-smoke", err)
 		}
 		return
@@ -360,12 +371,14 @@ func runProfile(ctx context.Context, opt experiments.Options) error {
 // alone allocates n × 24 bytes (1.2 GB at n=50M), while the streaming
 // pipeline allocates machine construction plus a fixed batch buffer,
 // independent of n.
-func runMemSmoke(n int, maxAlloc uint64) error {
+func runMemSmoke(n int, maxAlloc uint64, tiers config.TierConfig) error {
+	simOpt := sim.DefaultOptions()
+	simOpt.Tiers = tiers
 	var before, after runtime.MemStats
 	runtime.GC()
 	runtime.ReadMemStats(&before)
 	t0 := time.Now()
-	met, err := sim.Evaluate("lbm", n, config.Default(), sim.DefaultOptions())
+	met, err := sim.Evaluate("lbm", n, config.Default(), simOpt)
 	if err != nil {
 		return err
 	}
@@ -373,8 +386,12 @@ func runMemSmoke(n int, maxAlloc uint64) error {
 	runtime.ReadMemStats(&after)
 	grew := after.TotalAlloc - before.TotalAlloc
 	naive := uint64(n) * 24 //mctlint:ignore cyclecast n is a validated positive flag
-	fmt.Printf("mem-smoke: %d accesses in %.1fs (%.1f M acc/s), IPC %.3f\n",
-		n, sec, float64(n)/sec/1e6, met.IPC)
+	hier := "llc>nvm"
+	if tiers.DRAMCache {
+		hier = "llc>dram>nvm"
+	}
+	fmt.Printf("mem-smoke: %d accesses in %.1fs (%.1f M acc/s), IPC %.3f, hierarchy %s\n",
+		n, sec, float64(n)/sec/1e6, met.IPC, hier)
 	fmt.Printf("mem-smoke: allocated %.1f MiB cumulative (limit %.1f MiB; materialized trace alone would be %.1f MiB), live heap %.1f MiB\n",
 		float64(grew)/(1<<20), float64(maxAlloc)/(1<<20), float64(naive)/(1<<20), float64(after.HeapAlloc)/(1<<20))
 	if lim := os.Getenv("GOMEMLIMIT"); lim != "" {

@@ -34,7 +34,7 @@ func main() {
 	buf := make([]trace.Access, batchSize)
 
 	if *bench == "" {
-		fmt.Printf("%-12s %8s %8s %9s %10s\n", "benchmark", "MPKI", "wr-frac", "insts(M)", "lines")
+		fmt.Printf("%-12s %8s %8s %9s %10s %8s\n", "benchmark", "MPKI", "wr-frac", "insts(M)", "lines", "pages")
 		for _, name := range trace.Names() {
 			spec, _ := trace.ByName(name)
 			summary(name, trace.NewGenerator(spec, rng.NewRand(*seed)), *accesses, buf)
@@ -75,11 +75,16 @@ func main() {
 }
 
 // summary streams n accesses of src and prints aggregate intensity, write
-// mix, instruction count and unique-line footprint.
+// mix, instruction count, and the footprint at both migration
+// granularities: unique 64 B lines (LLC) and unique 4 KiB pages — the
+// granularity the DRAM tier's hot-page promotion policy tracks, so
+// lines/pages hints how much a page-grained migration can coalesce.
 func summary(name string, src trace.Source, n int, buf []trace.Access) {
+	const pageBytes = 4096
 	var insts uint64
 	var writes int
 	lines := map[uint64]struct{}{}
+	pages := map[uint64]struct{}{}
 	for done := 0; done < n; {
 		k := min(len(buf), n-done)
 		src.Fill(buf[:k])
@@ -89,15 +94,17 @@ func summary(name string, src trace.Source, n int, buf []trace.Access) {
 				writes++
 			}
 			lines[a.Addr/trace.LineBytes] = struct{}{}
+			pages[a.Addr/pageBytes] = struct{}{}
 		}
 		done += k
 	}
-	fmt.Printf("%-12s %8.2f %8.3f %9.2f %10d\n",
+	fmt.Printf("%-12s %8.2f %8.3f %9.2f %10d %8d\n",
 		name,
 		float64(n)/float64(insts)*1000,
 		float64(writes)/float64(n),
 		float64(insts)/1e6,
-		len(lines))
+		len(lines),
+		len(pages))
 }
 
 func min(a, b int) int {

@@ -88,6 +88,10 @@ func New(sizeBytes, ways int) (*Cache, error) {
 	return c, nil
 }
 
+// Name identifies the cache as the front tier of the memory hierarchy
+// (hierarchy.Tier).
+func (c *Cache) Name() string { return "llc" }
+
 // Ways returns the associativity.
 func (c *Cache) Ways() int { return c.ways }
 

@@ -1,0 +1,127 @@
+// Snapshot support for the DRAM cache tier: an exported, serializable
+// state for machine checkpoints (in-memory deep copies use Clone).
+package dram
+
+import (
+	"fmt"
+
+	"mct/internal/hierarchy"
+)
+
+// LineState is the serializable state of one cached line.
+type LineState struct {
+	Tag   uint64
+	Valid bool
+	Dirty bool
+}
+
+// HotEntry is one serialized page-touch counter slot.
+type HotEntry struct {
+	Page  uint64
+	Count uint32
+	Epoch uint32
+}
+
+// Snapshot is the complete serializable state of a DRAM cache tier. Lines
+// are stored set-major in MRU..LRU order, so recency survives the round
+// trip; the tier below is not part of the snapshot — the caller restores
+// the chain bottom-up and rewires it.
+type Snapshot struct {
+	Params    Params
+	Promote   int
+	Lines     []LineState
+	Hot       []HotEntry
+	Epoch     uint32
+	MissCount uint64
+	Stats     Stats
+}
+
+// Snapshot captures the tier's complete state for checkpointing. The
+// in-memory SoA lanes are re-interleaved into LineState records, so the
+// serialized format is layout-independent.
+//
+//mctlint:ignore clonefields setCount, ways, setMask, setShift and hotMask are derived from Params and recomputed by New on restore; next is external wiring supplied by the caller of FromSnapshot
+func (d *Cache) Snapshot() Snapshot {
+	lines := make([]LineState, len(d.tags))
+	for i, tag := range d.tags {
+		lines[i] = LineState{Tag: tag, Valid: d.meta[i]&metaValid != 0, Dirty: d.meta[i]&metaDirty != 0}
+	}
+	hot := make([]HotEntry, len(d.hotTags))
+	for i, page := range d.hotTags {
+		hot[i] = HotEntry{Page: page, Count: d.hotCnt[i], Epoch: d.hotEpoch[i]}
+	}
+	return Snapshot{
+		Params:    d.p,
+		Promote:   d.promote,
+		Lines:     lines,
+		Hot:       hot,
+		Epoch:     d.epoch,
+		MissCount: d.missCount,
+		Stats:     d.st,
+	}
+}
+
+// FromSnapshot rebuilds a DRAM cache tier from a state captured with
+// Snapshot, forwarding to next. The rebuilt tier continues the identical
+// simulation.
+func FromSnapshot(s Snapshot, next hierarchy.Mem) (*Cache, error) {
+	d, err := New(s.Params, next)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Lines) != len(d.tags) {
+		return nil, fmt.Errorf("dram: snapshot has %d lines, geometry says %d", len(s.Lines), len(d.tags))
+	}
+	if len(s.Hot) != len(d.hotTags) {
+		return nil, fmt.Errorf("dram: snapshot has %d hot-table slots, geometry says %d", len(s.Hot), len(d.hotTags))
+	}
+	if s.Promote < 1 || s.Promote > MaxPromoteThreshold {
+		return nil, fmt.Errorf("dram: snapshot promote threshold %d outside [1,%d]", s.Promote, MaxPromoteThreshold)
+	}
+	for i, ls := range s.Lines {
+		d.tags[i] = ls.Tag
+		var m uint8
+		if ls.Valid {
+			m |= metaValid
+		}
+		if ls.Dirty {
+			m |= metaDirty
+		}
+		d.meta[i] = m
+	}
+	for i, he := range s.Hot {
+		d.hotTags[i] = he.Page
+		d.hotCnt[i] = he.Count
+		d.hotEpoch[i] = he.Epoch
+	}
+	d.epoch = s.Epoch
+	d.missCount = s.MissCount
+	d.promote = s.Promote
+	d.st = s.Stats
+	return d, nil
+}
+
+// Clone returns a deep copy of the tier forwarding to next (the caller
+// clones the chain bottom-up and passes the cloned tier below). The copy
+// shares no mutable state with the original.
+func (d *Cache) Clone(next hierarchy.Mem) *Cache {
+	n := &Cache{
+		p:         d.p,
+		next:      next,
+		tags:      append([]uint64(nil), d.tags...),
+		meta:      append([]uint8(nil), d.meta...),
+		setCount:  d.setCount,
+		ways:      d.ways,
+		setMask:   d.setMask,
+		setShift:  d.setShift,
+		hotTags:   append([]uint64(nil), d.hotTags...),
+		hotCnt:    append([]uint32(nil), d.hotCnt...),
+		hotEpoch:  append([]uint32(nil), d.hotEpoch...),
+		hotMask:   d.hotMask,
+		epoch:     d.epoch,
+		missCount: d.missCount,
+		promote:   d.promote,
+		st:        d.st,
+	}
+	return n
+}

@@ -31,6 +31,14 @@ type Model struct {
 	// Negative: slower (lower-power) writes cost slightly less energy.
 	WriteEnergyExponent float64
 	NVMStaticPower      float64 // W, background/peripheral
+
+	// DRAM cache tier coefficients (hybrid hierarchy only; unused by
+	// Compute, charged by ComputeTiered). Refresh power is the static cost
+	// the hybrid pays for keeping a DRAM tier powered at all — the energy
+	// side of the DRAM-vs-NVM tradeoff dimension.
+	DRAMReadEnergy   float64 // J per 64B DRAM array read
+	DRAMWriteEnergy  float64 // J per 64B DRAM array write
+	DRAMRefreshPower float64 // W, refresh + peripheral background
 }
 
 // Default returns the calibrated model used across the experiments.
@@ -42,13 +50,17 @@ func Default() Model {
 		NVMWriteEnergy:      30e-9,
 		WriteEnergyExponent: -0.5,
 		NVMStaticPower:      0.3,
+		DRAMReadEnergy:      0.5e-9,
+		DRAMWriteEnergy:     0.5e-9,
+		DRAMRefreshPower:    0.15,
 	}
 }
 
 // Validate checks coefficient sanity.
 func (m Model) Validate() error {
 	if m.CPUDynamicPerInst < 0 || m.CPUStaticPower < 0 || m.NVMReadEnergy < 0 ||
-		m.NVMWriteEnergy < 0 || m.NVMStaticPower < 0 {
+		m.NVMWriteEnergy < 0 || m.NVMStaticPower < 0 ||
+		m.DRAMReadEnergy < 0 || m.DRAMWriteEnergy < 0 || m.DRAMRefreshPower < 0 {
 		return fmt.Errorf("energy: negative coefficient in %+v", m)
 	}
 	return nil
@@ -62,18 +74,23 @@ func (m Model) WriteEnergy(ratio float64) float64 {
 	return m.NVMWriteEnergy * math.Pow(ratio, m.WriteEnergyExponent)
 }
 
-// Breakdown itemizes where the joules went.
+// Breakdown itemizes where the joules went. The DRAM components are zero
+// for NVM-only systems, so appending them to Total leaves those sums
+// bit-identical (x + 0.0 == x for the non-negative components here).
 type Breakdown struct {
 	CPUDynamic float64
 	CPUStatic  float64
 	NVMRead    float64
 	NVMWrite   float64
 	NVMStatic  float64
+
+	DRAMDynamic float64 // DRAM tier array accesses
+	DRAMStatic  float64 // DRAM tier refresh/background
 }
 
 // Total returns the system energy.
 func (b Breakdown) Total() float64 {
-	return b.CPUDynamic + b.CPUStatic + b.NVMRead + b.NVMWrite + b.NVMStatic
+	return b.CPUDynamic + b.CPUStatic + b.NVMRead + b.NVMWrite + b.NVMStatic + b.DRAMDynamic + b.DRAMStatic
 }
 
 // Compute evaluates the model for a finished simulation window.
@@ -96,5 +113,17 @@ func (m Model) Compute(instructions uint64, seconds float64, st nvm.Stats) Break
 		b.NVMWrite += float64(st.WritesByRatio[ratio]) * m.WriteEnergy(ratio)
 	}
 	b.NVMStatic = seconds * m.NVMStaticPower
+	return b
+}
+
+// ComputeTiered evaluates the model for a window of a hybrid DRAM–NVM
+// system: the NVM-only breakdown plus the DRAM tier's array-access energy
+// (dramReads/dramWrites are tier-serviced access counts — the traffic the
+// NVM never saw) and refresh power. Plain counts keep this package free of
+// a dram dependency.
+func (m Model) ComputeTiered(instructions uint64, seconds float64, st nvm.Stats, dramReads, dramWrites uint64) Breakdown {
+	b := m.Compute(instructions, seconds, st)
+	b.DRAMDynamic = float64(dramReads)*m.DRAMReadEnergy + float64(dramWrites)*m.DRAMWriteEnergy
+	b.DRAMStatic = seconds * m.DRAMRefreshPower
 	return b
 }

@@ -30,6 +30,16 @@ type metricDTO struct {
 	ForcedWrites    uint64
 	SlowWrites      uint64
 	FastWrites      uint64
+
+	// DRAM tier counters; zero for NVM-only sweeps (their cache files
+	// carry an Options digest without a DRAM tier, so the two never mix).
+	DRAMHits          uint64
+	DRAMMisses        uint64
+	DRAMWriteHits     uint64
+	DRAMEagerAbsorbed uint64
+	DRAMPromotions    uint64
+	DRAMWritebacks    uint64
+	DRAMHitRate       float64
 }
 
 func toDTO(m sim.Metrics) metricDTO {
@@ -46,6 +56,14 @@ func toDTO(m sim.Metrics) metricDTO {
 		ForcedWrites:    m.ForcedWrites,
 		SlowWrites:      m.SlowWrites,
 		FastWrites:      m.FastWrites,
+
+		DRAMHits:          m.DRAMHits,
+		DRAMMisses:        m.DRAMMisses,
+		DRAMWriteHits:     m.DRAMWriteHits,
+		DRAMEagerAbsorbed: m.DRAMEagerAbsorbed,
+		DRAMPromotions:    m.DRAMPromotions,
+		DRAMWritebacks:    m.DRAMWritebacks,
+		DRAMHitRate:       m.DRAMHitRate,
 	}
 }
 
@@ -63,6 +81,14 @@ func fromDTO(d metricDTO) sim.Metrics {
 		ForcedWrites:    d.ForcedWrites,
 		SlowWrites:      d.SlowWrites,
 		FastWrites:      d.FastWrites,
+
+		DRAMHits:          d.DRAMHits,
+		DRAMMisses:        d.DRAMMisses,
+		DRAMWriteHits:     d.DRAMWriteHits,
+		DRAMEagerAbsorbed: d.DRAMEagerAbsorbed,
+		DRAMPromotions:    d.DRAMPromotions,
+		DRAMWritebacks:    d.DRAMWritebacks,
+		DRAMHitRate:       d.DRAMHitRate,
 	}
 }
 

@@ -98,6 +98,9 @@ func Run(ctx context.Context, id string, opt Options, rp RunParams) (*Report, er
 	case "ablation-power":
 		_, rep, err := PowerBudgetAblation(ctx, []string{"lbm", "stream", "zeusmp"}, nil, opt)
 		return rep, err
+	case "hybrid-tier":
+		_, rep, err := HybridTier(ctx, opt)
+		return rep, err
 	default:
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
@@ -111,6 +114,7 @@ func IDs() []string {
 		"wq-learning",
 		"ablation-norm", "ablation-settle", "ablation-power",
 		"validate-wearlevel", "extension-retention",
+		"hybrid-tier",
 	}
 	sort.Strings(ids)
 	return ids

@@ -261,6 +261,10 @@ func New(cfg config.Config, p Params) (*Controller, error) {
 	return c, nil
 }
 
+// Name identifies the controller as the terminal memory tier
+// (hierarchy.Mem).
+func (c *Controller) Name() string { return "nvm" }
+
 // Config returns the controller's active configuration.
 func (c *Controller) Config() config.Config { return c.cfg }
 

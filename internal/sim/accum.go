@@ -21,6 +21,10 @@ type Accum struct {
 	writesByRatio                               map[float64]uint64
 	hitWeighted                                 float64 // Σ hitRate·window accesses (approximated by reads+writes)
 	windows                                     int
+
+	// DRAM tier counters (all zero when the system has no DRAM tier).
+	dramHits, dramMisses, dramWriteHits    uint64
+	dramEagerAbsorbed, dramPromos, dramWbs uint64
 }
 
 // NewAccum returns an empty accumulator for systems described by opt.
@@ -55,6 +59,12 @@ func (a *Accum) Add(m Metrics) {
 		a.writesByRatio[r] += n
 	}
 	a.hitWeighted += m.LLCHitRate * float64(m.MemReads+m.MemWrites)
+	a.dramHits += m.DRAMHits
+	a.dramMisses += m.DRAMMisses
+	a.dramWriteHits += m.DRAMWriteHits
+	a.dramEagerAbsorbed += m.DRAMEagerAbsorbed
+	a.dramPromos += m.DRAMPromotions
+	a.dramWbs += m.DRAMWritebacks
 }
 
 // Metrics returns the aggregate as a single Metrics value.
@@ -94,7 +104,22 @@ func (a *Accum) Metrics() Metrics {
 	mt.QueueFullStalls = a.qfull
 
 	st := nvm.Stats{Reads: a.memReads, WritesByRatio: a.writesByRatio}
-	mt.Energy = a.opt.Energy.Compute(a.insts, a.seconds, st)
+	if a.opt.Tiers.DRAMCache {
+		mt.DRAMHits = a.dramHits
+		mt.DRAMMisses = a.dramMisses
+		mt.DRAMWriteHits = a.dramWriteHits
+		mt.DRAMEagerAbsorbed = a.dramEagerAbsorbed
+		mt.DRAMPromotions = a.dramPromos
+		mt.DRAMWritebacks = a.dramWbs
+		if tot := a.dramHits + a.dramMisses; tot > 0 {
+			mt.DRAMHitRate = float64(a.dramHits) / float64(tot)
+		}
+		reads := a.dramHits
+		writes := a.dramWriteHits + a.dramEagerAbsorbed + a.dramPromos
+		mt.Energy = a.opt.Energy.ComputeTiered(a.insts, a.seconds, st, reads, writes)
+	} else {
+		mt.Energy = a.opt.Energy.Compute(a.insts, a.seconds, st)
+	}
 	mt.EnergyJ = mt.Energy.Total()
 	mt.WritesByRatio = a.writesByRatio
 

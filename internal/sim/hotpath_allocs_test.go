@@ -84,6 +84,66 @@ func TestBatchedStepLoopZeroAllocs(t *testing.T) {
 	}
 }
 
+// BenchmarkTieredBatchedStepLoop is the hybrid-pipeline twin of
+// BenchmarkBatchedStepLoop: the same streaming inner loop with the DRAM
+// cache tier interposed, so `make bench-smoke` reports the tier's
+// per-access cost next to the stock pipeline's.
+func BenchmarkTieredBatchedStepLoop(b *testing.B) {
+	spec, err := trace.ByName("lbm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Tiers = config.TierConfig{DRAMCache: true, DRAMPromoteThreshold: 1}
+	m, err := NewMachine(spec, config.Default(), opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m.RunAccesses(100_000)
+	buf := m.batchBuf()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := 0; done < b.N; {
+		k := len(buf)
+		if rem := b.N - done; k > rem {
+			k = rem
+		}
+		m.gen.Fill(buf[:k])
+		m.StepBatch(buf[:k])
+		done += k
+	}
+}
+
+// TestTieredBatchedStepLoopZeroAllocs pins the same exactly-0 gate on the
+// hybrid DRAM–NVM pipeline: the tier seam is interface dispatch (no
+// boxing), and every dram.Cache method is allocation-free by construction
+// (flat SoA lanes, no maps), so inserting the tier must not cost a single
+// object on the streaming hot path.
+func TestTieredBatchedStepLoopZeroAllocs(t *testing.T) {
+	spec, err := trace.ByName("lbm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Tiers = config.TierConfig{DRAMCache: true, DRAMPromoteThreshold: 1}
+	m, err := NewMachine(spec, config.Default(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.RunAccesses(100_000)
+	if st := m.dramStats(); st.Hits+st.Misses == 0 {
+		t.Fatal("tiered warmup drove no DRAM traffic; the gate exercises nothing")
+	}
+	buf := m.batchBuf()
+	avg := testing.AllocsPerRun(10, func() {
+		m.gen.Fill(buf)
+		m.StepBatch(buf)
+	})
+	if avg != 0 {
+		t.Errorf("tiered steady-state batched step loop allocates %.2f objects per %d-access batch, want exactly 0", avg, len(buf))
+	}
+}
+
 // TestStepSteadyStateAllocs is the measurement half of the cross-check: a
 // warmed machine runs thousands of accesses with a per-access allocation
 // budget far below one. The bound is loose (windowMetrics itself allocates
@@ -161,6 +221,33 @@ func TestStepWorklistMatchesSuppressions(t *testing.T) {
 		// outright: Fill writes into the caller-owned batch.
 		"(*" + loader.ModulePath() + "/internal/trace.Generator).Fill": {allowed: map[string]bool{}},
 		"(*" + loader.ModulePath() + "/internal/trace.Generator).Next": {allowed: map[string]bool{}},
+		// The DRAM tier's hot-path methods allocate nothing themselves;
+		// their forwarding edges (miss, eviction, eager pass-through) reach
+		// only the suppressed NVM queue appends below.
+		"(*" + loader.ModulePath() + "/internal/dram.Cache).Read": {
+			allowed: map[string]bool{
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Read":       true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Write":      true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).EagerWrite": true,
+			},
+			wantSites: true,
+		},
+		"(*" + loader.ModulePath() + "/internal/dram.Cache).Write": {
+			allowed: map[string]bool{
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Read":       true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Write":      true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).EagerWrite": true,
+			},
+			wantSites: true,
+		},
+		"(*" + loader.ModulePath() + "/internal/dram.Cache).EagerWrite": {
+			allowed: map[string]bool{
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Read":       true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).Write":      true,
+				"(*" + loader.ModulePath() + "/internal/nvm.Controller).EagerWrite": true,
+			},
+			wantSites: true,
+		},
 	}
 	worklist := analysis.AllochotWorklist(prog)
 	for root, want := range roots {

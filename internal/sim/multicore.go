@@ -5,6 +5,8 @@ import (
 
 	"mct/internal/cache"
 	"mct/internal/config"
+	"mct/internal/dram"
+	"mct/internal/hierarchy"
 	"mct/internal/nvm"
 	"mct/internal/rng"
 	"mct/internal/stats"
@@ -49,7 +51,12 @@ type MultiMachine struct {
 	opt  MultiOptions
 	gens []*trace.Generator
 	llc  *cache.Cache
+	// dram is the optional shared DRAM cache tier; nil on the stock
+	// NVM-only hierarchy. mem is the topmost memory-side tier (see
+	// Machine).
+	dram *dram.Cache
 	ctrl *nvm.Controller
+	mem  hierarchy.Mem
 
 	cpuCycles []float64
 	insts     []uint64
@@ -57,6 +64,7 @@ type MultiMachine struct {
 	winStartCycles []float64
 	winStartInsts  []uint64
 	winStartStats  nvm.Stats
+	winStartDRAM   dram.Stats
 
 	// obsv is the optional observer (AttachObserver); nil means no
 	// instrumentation and zero overhead.
@@ -85,10 +93,19 @@ func NewMultiMachine(specs []trace.Spec, cfg config.Config, opt MultiOptions) (*
 		gens:           make([]*trace.Generator, opt.Cores),
 		llc:            llc,
 		ctrl:           ctrl,
+		mem:            ctrl,
 		cpuCycles:      make([]float64, opt.Cores),
 		insts:          make([]uint64, opt.Cores),
 		winStartCycles: make([]float64, opt.Cores),
 		winStartInsts:  make([]uint64, opt.Cores),
+	}
+	if opt.Tiers.DRAMCache {
+		d, err := dram.New(opt.dramParams(), ctrl)
+		if err != nil {
+			return nil, err
+		}
+		m.dram = d
+		m.mem = d
 	}
 	for i, spec := range specs {
 		m.gens[i] = trace.NewGeneratorAt(spec, rng.DeriveRand(opt.Seed, int64(i)), uint64(i)*coreAddrStride)
@@ -110,10 +127,22 @@ func (m *MultiMachine) Options() Options { return m.opt.Options }
 // Cores returns the core count.
 func (m *MultiMachine) Cores() int { return m.opt.Cores }
 
+// DRAM exposes the shared DRAM cache tier, nil on NVM-only machines.
+func (m *MultiMachine) DRAM() *dram.Cache { return m.dram }
+
+// dramStats returns the DRAM tier's counters, zero on NVM-only machines.
+func (m *MultiMachine) dramStats() dram.Stats {
+	if m.dram == nil {
+		return dram.Stats{}
+	}
+	return m.dram.Stats()
+}
+
 func (m *MultiMachine) beginWindow() {
 	copy(m.winStartCycles, m.cpuCycles)
 	copy(m.winStartInsts, m.insts)
 	m.winStartStats = m.ctrl.Stats()
+	m.winStartDRAM = m.dramStats()
 }
 
 // stepCore advances the least-advanced core by one access. Hot-path root:
@@ -139,13 +168,13 @@ func (m *MultiMachine) stepCore() {
 	}
 	now := uint64(m.cpuCycles[core] / o.CPUCyclesPerMemCycle)
 	if res.Writeback {
-		accepted := m.ctrl.Write(res.WritebackAddr, now)
+		accepted := m.mem.Write(res.WritebackAddr, now)
 		if accepted > now {
 			m.cpuCycles[core] += float64(accepted-now) * o.CPUCyclesPerMemCycle
 			now = accepted
 		}
 	}
-	done := m.ctrl.Read(res.FillAddr, now)
+	done := m.mem.Read(res.FillAddr, now)
 	latCPU := float64(done-now) * o.CPUCyclesPerMemCycle
 	if a.Write {
 		m.cpuCycles[core] += latCPU * o.StoreStallFactor
@@ -154,11 +183,11 @@ func (m *MultiMachine) stepCore() {
 	}
 
 	cfg := m.ctrl.Config()
-	if cfg.EagerWritebacks && m.ctrl.EagerSpace() {
+	if cfg.EagerWritebacks && m.mem.EagerSpace() {
 		useless := m.llc.UselessPositions(cfg.EagerThreshold)
 		if useless > 0 {
 			if addr, ok := m.llc.NextEagerVictim(useless, o.EagerScanSets); ok {
-				m.ctrl.EagerWrite(addr, uint64(m.cpuCycles[core]/o.CPUCyclesPerMemCycle))
+				m.mem.EagerWrite(addr, uint64(m.cpuCycles[core]/o.CPUCyclesPerMemCycle))
 			}
 		}
 	}
@@ -201,8 +230,9 @@ func (m *MultiMachine) windowMetrics() MultiMetrics {
 	o := &m.opt.Options
 	s1 := m.ctrl.Stats()
 	s0 := m.winStartStats
+	d1 := m.dramStats()
 	if m.obsv != nil {
-		m.obsv.publish(m.llc.Stats(), s1, true)
+		m.obsv.publish(m.llc.Stats(), s1, d1, true)
 	}
 
 	var mm MultiMetrics
@@ -266,7 +296,19 @@ func (m *MultiMachine) windowMetrics() MultiMetrics {
 	// CPU static power scales with core count.
 	em := o.Energy
 	em.CPUStaticPower *= float64(m.opt.Cores)
-	mm.Energy = em.Compute(totInsts, seconds, dst)
+	if m.dram != nil {
+		dd := diffDRAM(m.winStartDRAM, d1)
+		mm.DRAMHits = dd.Hits
+		mm.DRAMMisses = dd.Misses
+		mm.DRAMWriteHits = dd.WriteHits
+		mm.DRAMEagerAbsorbed = dd.EagerAbsorbed
+		mm.DRAMPromotions = dd.Promotions
+		mm.DRAMWritebacks = dd.Writebacks
+		mm.DRAMHitRate = dd.HitRate()
+		mm.Energy = em.ComputeTiered(totInsts, seconds, dst, dramReads(dd), dramWrites(dd))
+	} else {
+		mm.Energy = em.Compute(totInsts, seconds, dst)
+	}
 	mm.EnergyJ = mm.Energy.Total()
 	return mm
 }

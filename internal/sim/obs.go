@@ -9,16 +9,20 @@ package sim
 
 import (
 	"mct/internal/cache"
+	"mct/internal/dram"
 	"mct/internal/nvm"
 	"mct/internal/obs"
 )
 
-// machineObs bundles a registry with the cache and nvm publishers feeding
-// it, plus the sim-level window counter.
+// machineObs bundles a registry with the per-tier publishers feeding it,
+// plus the sim-level window counter. The dram publisher is nil on
+// NVM-only machines: their registries carry no dram.* instruments, so
+// metric dumps of the stock hierarchy are unchanged by the tier seam.
 type machineObs struct {
 	reg *obs.Registry
 	co  *cache.Obs
 	no  *nvm.Obs
+	do  *dram.Obs
 	// windows counts metric-window computations — a cheap liveness signal
 	// and a determinism tripwire (it must match across worker counts and
 	// checkpoint resume).
@@ -27,13 +31,18 @@ type machineObs struct {
 
 // newMachineObs registers the sim-side instruments on r and builds the
 // layer publishers with zero baselines (callers rebase for warm state).
-func newMachineObs(r *obs.Registry, ways int, wearBudget float64) *machineObs {
-	return &machineObs{
+// withDRAM registers the dram.* family too.
+func newMachineObs(r *obs.Registry, ways int, wearBudget float64, withDRAM bool) *machineObs {
+	o := &machineObs{
 		reg:     r,
 		co:      cache.NewObs(r, ways),
 		no:      nvm.NewObs(r, wearBudget),
 		windows: r.Counter("sim.windows"),
 	}
+	if withDRAM {
+		o.do = dram.NewObs(r)
+	}
+	return o
 }
 
 // clone rebinds the observer to a deep copy of its registry, preserving
@@ -41,25 +50,33 @@ func newMachineObs(r *obs.Registry, ways int, wearBudget float64) *machineObs {
 // where the parent left off.
 func (o *machineObs) clone() *machineObs {
 	r2 := o.reg.Clone()
-	return &machineObs{
+	n := &machineObs{
 		reg: r2,
 		co:  o.co.CloneInto(r2),
 		no:  o.no.CloneInto(r2),
 		// Get-or-create finds the cloned instrument, value preserved.
 		windows: r2.Counter("sim.windows"),
 	}
+	if o.do != nil {
+		n.do = o.do.CloneInto(r2)
+	}
+	return n
 }
 
-// publish pushes the window's deltas into the registry.
-func (o *machineObs) publish(cs cache.Stats, st nvm.Stats, countWindow bool) {
+// publish pushes the window's deltas into the registry. ds is ignored on
+// machines without a DRAM tier (it is zero there anyway).
+func (o *machineObs) publish(cs cache.Stats, st nvm.Stats, ds dram.Stats, countWindow bool) {
 	o.co.Publish(cs)
 	o.no.Publish(st)
+	if o.do != nil {
+		o.do.Publish(ds)
+	}
 	if countWindow {
 		o.windows.Inc()
 	}
 }
 
-// AttachObserver wires r into the machine: the cache/nvm metric families
+// AttachObserver wires r into the machine: the per-tier metric families
 // are registered on r and publishing starts at the next window boundary.
 // Baselines are set to the machine's current stats, so only activity from
 // the attach point on is accounted (this is what makes restore-then-attach
@@ -69,9 +86,12 @@ func (m *Machine) AttachObserver(r *obs.Registry) {
 		m.obsv = nil
 		return
 	}
-	o := newMachineObs(r, m.llc.Ways(), m.ctrl.WearBudget())
+	o := newMachineObs(r, m.llc.Ways(), m.ctrl.WearBudget(), m.dram != nil)
 	o.co.Rebase(m.llc.Stats())
 	o.no.Rebase(m.ctrl.Stats())
+	if o.do != nil {
+		o.do.Rebase(m.dram.Stats())
+	}
 	m.obsv = o
 }
 
@@ -88,20 +108,24 @@ func (m *Machine) Observer() *obs.Registry {
 // snapshotting). No-op when no observer is attached.
 func (m *Machine) SyncObserver() {
 	if m.obsv != nil {
-		m.obsv.publish(m.llc.Stats(), m.ctrl.Stats(), false)
+		m.obsv.publish(m.llc.Stats(), m.ctrl.Stats(), m.dramStats(), false)
 	}
 }
 
-// AttachObserver wires r into the multi-core machine (shared LLC and
-// controller; one metric family). Semantics match Machine.AttachObserver.
+// AttachObserver wires r into the multi-core machine (shared LLC,
+// optional shared DRAM tier and controller; one metric family). Semantics
+// match Machine.AttachObserver.
 func (m *MultiMachine) AttachObserver(r *obs.Registry) {
 	if r == nil {
 		m.obsv = nil
 		return
 	}
-	o := newMachineObs(r, m.llc.Ways(), m.ctrl.WearBudget())
+	o := newMachineObs(r, m.llc.Ways(), m.ctrl.WearBudget(), m.dram != nil)
 	o.co.Rebase(m.llc.Stats())
 	o.no.Rebase(m.ctrl.Stats())
+	if o.do != nil {
+		o.do.Rebase(m.dram.Stats())
+	}
 	m.obsv = o
 }
 
@@ -116,6 +140,6 @@ func (m *MultiMachine) Observer() *obs.Registry {
 // SyncObserver publishes pending stats without ending the window.
 func (m *MultiMachine) SyncObserver() {
 	if m.obsv != nil {
-		m.obsv.publish(m.llc.Stats(), m.ctrl.Stats(), false)
+		m.obsv.publish(m.llc.Stats(), m.ctrl.Stats(), m.dramStats(), false)
 	}
 }

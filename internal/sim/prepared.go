@@ -73,8 +73,11 @@ func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, err
 	}
 	// Warm the whole machine: LLC contents, controller queues/row buffers,
 	// and warmup-accrued wear (subtracted out by window accounting). The
-	// generator is left exactly at the measurement cut.
+	// generator is left exactly at the measurement cut. Hybrid machines
+	// settle the DRAM tier's dirty set here so it is charged to warmup,
+	// not to every configuration's first measurement window.
 	m.runOwn(warmup)
+	m.settleHierarchy()
 	return &Prepared{
 		Spec:     spec,
 		opt:      opt,
@@ -118,6 +121,7 @@ func (p *Prepared) EvaluateCold(cfg config.Config) (Metrics, error) {
 		return Metrics{}, err
 	}
 	m.runOwn(p.warmup)
+	m.settleHierarchy()
 	if err := m.SetConfig(cfg); err != nil {
 		return Metrics{}, err
 	}
@@ -142,6 +146,7 @@ func (p *Prepared) measure(m *Machine) (Metrics, error) {
 func (m *Machine) Warmup(n int) uint64 {
 	before := m.insts
 	m.runOwn(n)
+	m.settleHierarchy()
 	m.beginWindow()
 	return m.insts - before
 }
@@ -156,6 +161,7 @@ func (m *MultiMachine) Warmup(n int) uint64 {
 	for i := 0; i < n; i++ {
 		m.stepCore()
 	}
+	m.settleHierarchy()
 	m.beginWindow()
 	var after uint64
 	for _, v := range m.insts {

@@ -11,7 +11,9 @@ import (
 
 	"mct/internal/cache"
 	"mct/internal/config"
+	"mct/internal/dram"
 	"mct/internal/energy"
+	"mct/internal/hierarchy"
 	"mct/internal/nvm"
 	"mct/internal/rng"
 	"mct/internal/trace"
@@ -47,6 +49,15 @@ type Options struct {
 
 	// Seed drives the workload generator.
 	Seed int64
+
+	// Tiers selects the memory-hierarchy composition: the stock machine is
+	// LLC→NVM; Tiers.DRAMCache interposes the DRAM cache tier.
+	Tiers config.TierConfig
+	// DRAM parameterizes the DRAM cache tier (geometry, latency, hot-page
+	// policy); ignored unless Tiers.DRAMCache. A zero value falls back to
+	// dram.DefaultParams, and Tiers.DRAMPromoteThreshold, when positive,
+	// overrides the promotion threshold.
+	DRAM dram.Params
 }
 
 // DefaultOptions returns the Table 8/9 system.
@@ -63,6 +74,7 @@ func DefaultOptions() Options {
 		CPUCyclesPerMemCycle: 5,
 		EagerScanSets:        32,
 		Seed:                 1,
+		DRAM:                 dram.DefaultParams(),
 	}
 }
 
@@ -83,7 +95,29 @@ func (o Options) Validate() error {
 	if o.ReadStallFactor < 0 || o.ReadStallFactor > 1 || o.StoreStallFactor < 0 || o.StoreStallFactor > 1 {
 		return fmt.Errorf("sim: stall factors must be in [0,1]")
 	}
+	if err := o.Tiers.Validate(); err != nil {
+		return err
+	}
+	if o.Tiers.DRAMCache {
+		if err := o.dramParams().Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// dramParams resolves the effective DRAM tier parameters: the configured
+// geometry (defaulted when zero) with the TierConfig promotion-threshold
+// override applied.
+func (o Options) dramParams() dram.Params {
+	p := o.DRAM
+	if p == (dram.Params{}) {
+		p = dram.DefaultParams()
+	}
+	if o.Tiers.DRAMPromoteThreshold > 0 {
+		p.PromoteThreshold = o.Tiers.DRAMPromoteThreshold
+	}
+	return p
 }
 
 // Metrics reports the objectives and supporting detail for a run or a
@@ -115,6 +149,19 @@ type Metrics struct {
 	// RowHitRate is the open-page hit rate of demand reads at the NVM.
 	RowHitRate float64
 
+	// DRAM tier activity in the window; all zero on NVM-only machines.
+	// The raw counters (not just the rate) ride along so Accum can
+	// re-aggregate windows exactly, including the tier's energy inputs.
+	DRAMHits          uint64
+	DRAMMisses        uint64
+	DRAMWriteHits     uint64
+	DRAMEagerAbsorbed uint64
+	DRAMPromotions    uint64
+	DRAMWritebacks    uint64
+	// DRAMHitRate is the tier's demand-fill hit ratio for the window — the
+	// learned hierarchy tradeoff dimension.
+	DRAMHitRate float64
+
 	// WearByBankDelta is the per-bank wear accrued in the window
 	// (line-lifetimes); it allows windows of the same configuration to be
 	// aggregated exactly (see Accum).
@@ -132,10 +179,17 @@ func (m Metrics) Vector() [3]float64 { return [3]float64{m.IPC, m.LifetimeYears,
 // supports online reconfiguration (SetConfig) and windowed execution, which
 // is what the MCT runtime drives during sampling and testing periods.
 type Machine struct {
-	opt  Options
-	gen  *trace.Generator
-	llc  *cache.Cache
+	opt Options
+	gen *trace.Generator
+	llc *cache.Cache
+	// dram is the optional DRAM cache tier (opt.Tiers.DRAMCache); nil on
+	// the stock NVM-only hierarchy.
+	dram *dram.Cache
 	ctrl *nvm.Controller
+	// mem is the topmost memory-side tier the LLC's misses flow into: the
+	// DRAM tier when present, otherwise the controller. The step loop
+	// drives the hierarchy through this seam only.
+	mem hierarchy.Mem
 
 	cpuCycles float64 // CPU cycles elapsed
 	insts     uint64
@@ -145,6 +199,7 @@ type Machine struct {
 	winStartInsts  uint64
 	winStartStats  nvm.Stats
 	winStartCache  cache.Stats
+	winStartDRAM   dram.Stats
 
 	// obsv is the optional observer (AttachObserver); nil means no
 	// instrumentation and zero overhead.
@@ -192,6 +247,15 @@ func NewMachine(spec trace.Spec, cfg config.Config, opt Options) (*Machine, erro
 		gen:  trace.NewGenerator(spec, rng.NewRand(opt.Seed)),
 		llc:  llc,
 		ctrl: ctrl,
+		mem:  ctrl,
+	}
+	if opt.Tiers.DRAMCache {
+		d, err := dram.New(opt.dramParams(), ctrl)
+		if err != nil {
+			return nil, err
+		}
+		m.dram = d
+		m.mem = d
 	}
 	m.beginWindow()
 	return m, nil
@@ -215,11 +279,44 @@ func (m *Machine) CPUCycles() float64 { return m.cpuCycles }
 // Controller exposes the NVM controller (diagnostics and tests).
 func (m *Machine) Controller() *nvm.Controller { return m.ctrl }
 
+// DRAM exposes the DRAM cache tier, nil on NVM-only machines
+// (diagnostics and tests).
+func (m *Machine) DRAM() *dram.Cache { return m.dram }
+
+// Tiers returns the hierarchy's ordered tier pipeline, front (CPU side)
+// first.
+func (m *Machine) Tiers() []hierarchy.Tier {
+	ts := make([]hierarchy.Tier, 0, 3)
+	ts = append(ts, m.llc)
+	if m.dram != nil {
+		ts = append(ts, m.dram)
+	}
+	return append(ts, m.ctrl)
+}
+
+// SetPromoteThreshold retunes the DRAM tier's hot-page promotion
+// threshold online; errors on NVM-only machines.
+func (m *Machine) SetPromoteThreshold(n int) error {
+	if m.dram == nil {
+		return fmt.Errorf("sim: machine has no DRAM tier")
+	}
+	return m.dram.SetPromoteThreshold(n)
+}
+
+// dramStats returns the DRAM tier's counters, zero on NVM-only machines.
+func (m *Machine) dramStats() dram.Stats {
+	if m.dram == nil {
+		return dram.Stats{}
+	}
+	return m.dram.Stats()
+}
+
 func (m *Machine) beginWindow() {
 	m.winStartCycles = m.cpuCycles
 	m.winStartInsts = m.insts
 	m.winStartStats = m.ctrl.Stats()
 	m.winStartCache = m.llc.Stats()
+	m.winStartDRAM = m.dramStats()
 }
 
 func (m *Machine) memNow() uint64 {
@@ -242,14 +339,14 @@ func (m *Machine) step(a trace.Access) {
 	} else {
 		now := m.memNow()
 		if res.Writeback {
-			accepted := m.ctrl.Write(res.WritebackAddr, now)
+			accepted := m.mem.Write(res.WritebackAddr, now)
 			if accepted > now {
 				// Write-queue backpressure fully stalls the core.
 				m.cpuCycles += float64(accepted-now) * o.CPUCyclesPerMemCycle
 				now = accepted
 			}
 		}
-		done := m.ctrl.Read(res.FillAddr, now)
+		done := m.mem.Read(res.FillAddr, now)
 		latCPU := float64(done-now) * o.CPUCyclesPerMemCycle
 		if a.Write {
 			m.cpuCycles += latCPU * o.StoreStallFactor
@@ -259,13 +356,13 @@ func (m *Machine) step(a trace.Access) {
 	}
 
 	// Eager mellow writes: harvest at most one dirty victim per access
-	// when the technique is on and the controller has room (§3.1).
+	// when the technique is on and the hierarchy has room (§3.1).
 	cfg := m.ctrl.Config()
-	if cfg.EagerWritebacks && m.ctrl.EagerSpace() {
+	if cfg.EagerWritebacks && m.mem.EagerSpace() {
 		useless := m.llc.UselessPositions(cfg.EagerThreshold)
 		if useless > 0 {
 			if addr, ok := m.llc.NextEagerVictim(useless, o.EagerScanSets); ok {
-				m.ctrl.EagerWrite(addr, m.memNow())
+				m.mem.EagerWrite(addr, m.memNow())
 			}
 		}
 	}
@@ -349,13 +446,14 @@ func (m *Machine) RunInstructions(n uint64) Metrics {
 func (m *Machine) windowMetrics() Metrics {
 	st := m.ctrl.Stats()
 	cs := m.llc.Stats()
+	ds := m.dramStats()
 	if m.obsv != nil {
-		m.obsv.publish(cs, st, true)
+		m.obsv.publish(cs, st, ds, true)
 	}
-	return m.metricsBetween(m.winStartCycles, m.winStartInsts, m.winStartStats, m.winStartCache, st, cs)
+	return m.metricsBetween(m.winStartCycles, m.winStartInsts, m.winStartStats, m.winStartCache, m.winStartDRAM, st, cs, ds)
 }
 
-func (m *Machine) metricsBetween(c0 float64, i0 uint64, s0 nvm.Stats, llc0 cache.Stats, s1 nvm.Stats, llc1 cache.Stats) Metrics {
+func (m *Machine) metricsBetween(c0 float64, i0 uint64, s0 nvm.Stats, llc0 cache.Stats, d0 dram.Stats, s1 nvm.Stats, llc1 cache.Stats, d1 dram.Stats) Metrics {
 	o := &m.opt
 	dCycles := m.cpuCycles - c0
 	dInsts := m.insts - i0
@@ -403,7 +501,19 @@ func (m *Machine) metricsBetween(c0 float64, i0 uint64, s0 nvm.Stats, llc0 cache
 	mt.FastWrites = dst.FastWrites
 	mt.QueueFullStalls = dst.QueueFullStalls
 
-	mt.Energy = o.Energy.Compute(dInsts, seconds, dst)
+	if m.dram != nil {
+		dd := diffDRAM(d0, d1)
+		mt.DRAMHits = dd.Hits
+		mt.DRAMMisses = dd.Misses
+		mt.DRAMWriteHits = dd.WriteHits
+		mt.DRAMEagerAbsorbed = dd.EagerAbsorbed
+		mt.DRAMPromotions = dd.Promotions
+		mt.DRAMWritebacks = dd.Writebacks
+		mt.DRAMHitRate = dd.HitRate()
+		mt.Energy = o.Energy.ComputeTiered(dInsts, seconds, dst, dramReads(dd), dramWrites(dd))
+	} else {
+		mt.Energy = o.Energy.Compute(dInsts, seconds, dst)
+	}
 	mt.EnergyJ = mt.Energy.Total()
 	mt.WritesByRatio = dst.WritesByRatio
 
@@ -413,6 +523,28 @@ func (m *Machine) metricsBetween(c0 float64, i0 uint64, s0 nvm.Stats, llc0 cache
 		mt.LLCHitRate = float64(hits) / float64(total)
 	}
 	return mt
+}
+
+// diffDRAM returns s1-s0 (all fields are monotone counters).
+func diffDRAM(s0, s1 dram.Stats) dram.Stats {
+	return dram.Stats{
+		Hits:          s1.Hits - s0.Hits,
+		Misses:        s1.Misses - s0.Misses,
+		WriteHits:     s1.WriteHits - s0.WriteHits,
+		WriteMisses:   s1.WriteMisses - s0.WriteMisses,
+		EagerAbsorbed: s1.EagerAbsorbed - s0.EagerAbsorbed,
+		Promotions:    s1.Promotions - s0.Promotions,
+		Writebacks:    s1.Writebacks - s0.Writebacks,
+		DrainFlushes:  s1.DrainFlushes - s0.DrainFlushes,
+	}
+}
+
+// dramReads/dramWrites map tier counters to DRAM array accesses for the
+// energy model: reads are tier-serviced fills; writes are absorbed LLC
+// writebacks (demand + eager) plus line installs.
+func dramReads(d dram.Stats) uint64 { return d.Hits }
+func dramWrites(d dram.Stats) uint64 {
+	return d.WriteHits + d.EagerAbsorbed + d.Promotions
 }
 
 // diffStats returns s1-s0 for the counters used by metrics/energy.
@@ -439,12 +571,49 @@ func diffStats(s0, s1 nvm.Stats) nvm.Stats {
 	return d
 }
 
-// finishRun drains queued writes so their wear and energy are charged to
-// the run, advancing the CPU clock if the drain outlasts it.
+// finishRun drains the memory hierarchy — dirty DRAM-tier lines flush to
+// NVM, then queued writes retire — so their wear and energy are charged
+// to the run, advancing the CPU clock if the drain outlasts it.
 func (m *Machine) finishRun() {
-	final := m.ctrl.Drain(m.memNow())
+	final := m.mem.Drain(m.memNow())
 	if f := float64(final) * m.opt.CPUCyclesPerMemCycle; f > m.cpuCycles {
 		m.cpuCycles = f
+	}
+}
+
+// settleHierarchy flushes the DRAM tier's warmup-accrued dirty set (and
+// the controller queue behind it) so measurement windows drain only their
+// own writes — without this, the first window after warmup would be
+// charged the whole warmup's dirty-set writeback storm. NVM-only machines
+// are untouched: their only buffered state is the bounded write queue,
+// whose end-of-window drain is part of the measured cost.
+func (m *Machine) settleHierarchy() {
+	if m.dram == nil {
+		return
+	}
+	m.finishRun()
+}
+
+// settleHierarchy is the multi-core analog: after the flush, every core's
+// clock catches up to the drain point.
+func (m *MultiMachine) settleHierarchy() {
+	if m.dram == nil {
+		return
+	}
+	var maxCycles float64
+	for _, c := range m.cpuCycles {
+		if c > maxCycles {
+			maxCycles = c
+		}
+	}
+	final := m.mem.Drain(uint64(maxCycles / m.opt.CPUCyclesPerMemCycle))
+	if f := float64(final) * m.opt.CPUCyclesPerMemCycle; f > maxCycles {
+		maxCycles = f
+	}
+	for i := range m.cpuCycles {
+		if m.cpuCycles[i] < maxCycles {
+			m.cpuCycles[i] = maxCycles
+		}
 	}
 }
 

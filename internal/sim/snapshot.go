@@ -17,6 +17,8 @@ import (
 	"path/filepath"
 
 	"mct/internal/cache"
+	"mct/internal/dram"
+	"mct/internal/hierarchy"
 	"mct/internal/nvm"
 	"mct/internal/obs"
 	"mct/internal/trace"
@@ -35,8 +37,16 @@ func (m *Machine) Clone() *Machine {
 	n.gen = m.gen.Clone()
 	n.llc = m.llc.Clone()
 	n.ctrl = m.ctrl.Clone()
+	// Rebuild the tier chain bottom-up onto the cloned controller so the
+	// clone's mem seam points into its own hierarchy, not the parent's.
+	n.mem = hierarchy.Mem(n.ctrl)
+	if m.dram != nil {
+		n.dram = m.dram.Clone(n.ctrl)
+		n.mem = n.dram
+	}
 	n.winStartStats = m.winStartStats.Clone()
 	n.winStartCache = m.winStartCache.Clone()
+	n.winStartDRAM = m.winStartDRAM.Clone()
 	if m.obsv != nil {
 		n.obsv = m.obsv.clone()
 	}
@@ -53,6 +63,12 @@ func (m *MultiMachine) Clone() *MultiMachine {
 	}
 	n.llc = m.llc.Clone()
 	n.ctrl = m.ctrl.Clone()
+	n.mem = hierarchy.Mem(n.ctrl)
+	if m.dram != nil {
+		n.dram = m.dram.Clone(n.ctrl)
+		n.mem = n.dram
+	}
+	n.winStartDRAM = m.winStartDRAM.Clone()
 	n.cpuCycles = append([]float64(nil), m.cpuCycles...)
 	n.insts = append([]uint64(nil), m.insts...)
 	n.winStartCycles = append([]float64(nil), m.winStartCycles...)
@@ -86,6 +102,13 @@ type MachineState struct {
 	// observers existed decode with Obs nil, which restores to "no
 	// observer" — exactly their meaning.
 	Obs *obs.State
+
+	// DRAM is the DRAM cache tier's state, nil on NVM-only machines.
+	// Gob-additive like Obs: checkpoints written before the tier seam
+	// existed decode with DRAM nil — an NVM-only hierarchy, exactly their
+	// meaning. WinStartDRAM rides along the same way (zero for them).
+	DRAM         *dram.Snapshot
+	WinStartDRAM dram.Stats
 }
 
 // Snapshot captures the machine's complete state. Pending window deltas
@@ -93,16 +116,22 @@ type MachineState struct {
 // the snapshot point and a restored machine (whose publisher baselines are
 // rebased to the restored stats) continues without gaps or double counts.
 //
-//mctlint:ignore clonefields batch is a scratch buffer, not state: a restored machine allocates its own on first streaming run
+//mctlint:ignore clonefields batch is a scratch buffer, not state, and mem is derived wiring (dram or ctrl): a restored machine allocates its own buffer and rewires the seam from the restored tiers
 func (m *Machine) Snapshot() MachineState {
 	var obsState *obs.State
 	if m.obsv != nil {
-		m.obsv.publish(m.llc.Stats(), m.ctrl.Stats(), false)
+		m.obsv.publish(m.llc.Stats(), m.ctrl.Stats(), m.dramStats(), false)
 		s := m.obsv.reg.State()
 		obsState = &s
 	}
+	var dramState *dram.Snapshot
+	if m.dram != nil {
+		s := m.dram.Snapshot()
+		dramState = &s
+	}
 	return MachineState{
 		Obs:            obsState,
+		DRAM:           dramState,
 		Options:        m.opt,
 		Gen:            m.gen.Snapshot(),
 		LLC:            m.llc.Snapshot(),
@@ -113,6 +142,7 @@ func (m *Machine) Snapshot() MachineState {
 		WinStartInsts:  m.winStartInsts,
 		WinStartStats:  m.winStartStats.Clone(),
 		WinStartCache:  m.winStartCache.Clone(),
+		WinStartDRAM:   m.winStartDRAM.Clone(),
 	}
 }
 
@@ -136,17 +166,30 @@ func RestoreMachine(st MachineState) (*Machine, error) {
 	if len(st.Gen.Spec.Phases) == 0 {
 		return nil, fmt.Errorf("sim: checkpoint generator has no phases")
 	}
+	if st.Options.Tiers.DRAMCache != (st.DRAM != nil) {
+		return nil, fmt.Errorf("sim: checkpoint tier composition disagrees with machine options")
+	}
 	m := &Machine{
 		opt:            st.Options,
 		gen:            trace.FromState(st.Gen),
 		llc:            llc,
 		ctrl:           ctrl,
+		mem:            ctrl,
 		cpuCycles:      st.CPUCycles,
 		insts:          st.Insts,
 		winStartCycles: st.WinStartCycles,
 		winStartInsts:  st.WinStartInsts,
 		winStartStats:  st.WinStartStats.Clone(),
 		winStartCache:  st.WinStartCache.Clone(),
+		winStartDRAM:   st.WinStartDRAM.Clone(),
+	}
+	if st.DRAM != nil {
+		d, err := dram.FromSnapshot(*st.DRAM, ctrl)
+		if err != nil {
+			return nil, fmt.Errorf("sim: checkpoint DRAM tier: %w", err)
+		}
+		m.dram = d
+		m.mem = d
 	}
 	if st.Obs != nil {
 		reg, err := obs.FromState(*st.Obs)

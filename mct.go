@@ -46,6 +46,7 @@ import (
 	"mct/internal/core"
 	"mct/internal/engine"
 	"mct/internal/experiments"
+	"mct/internal/hierarchy"
 	"mct/internal/sim"
 	"mct/internal/trace"
 )
@@ -72,6 +73,12 @@ type (
 	SimOptions = sim.Options
 	// WorkloadSpec describes a synthetic benchmark.
 	WorkloadSpec = trace.Spec
+	// TierConfig selects the memory-hierarchy composition (NVM-only or
+	// hybrid DRAM–NVM) and its knobs; pass it via WithTiers.
+	TierConfig = config.TierConfig
+	// Tier is one level of the composed memory hierarchy; Machine.Tiers
+	// exposes the live pipeline top-down.
+	Tier = hierarchy.Tier
 )
 
 // MCT runtime types.
@@ -139,6 +146,24 @@ func MixMembers(mix string) ([]string, error) {
 // DefaultSimOptions returns the Table 8/9 system configuration.
 func DefaultSimOptions() SimOptions { return sim.DefaultOptions() }
 
+// HybridTiers returns the standard hybrid DRAM–NVM composition: the DRAM
+// cache tier enabled at its default hot-page promotion threshold. Pass it
+// via WithTiers; tune the threshold through the returned value.
+func HybridTiers() TierConfig { return config.TierConfig{DRAMCache: true} }
+
+// simOptions resolves the effective simulator options of one facade call:
+// explicit options (or defaults) with the tier composition layered over.
+func simOptions(c callOpts) SimOptions {
+	opt := sim.DefaultOptions()
+	if c.sim != nil {
+		opt = *c.sim
+	}
+	if c.tiers != nil {
+		opt.Tiers = *c.tiers
+	}
+	return opt
+}
+
 // DefaultRuntimeOptions returns MCT runtime options scaled to the
 // simulator.
 func DefaultRuntimeOptions() RuntimeOptions { return core.DefaultOptions() }
@@ -156,11 +181,7 @@ func NewMachine(ctx context.Context, benchmark string, cfg Config, opts ...Optio
 	if err != nil {
 		return nil, err
 	}
-	simOpt := sim.DefaultOptions()
-	if c.sim != nil {
-		simOpt = *c.sim
-	}
-	m, err := sim.NewMachine(spec, cfg, simOpt)
+	m, err := sim.NewMachine(spec, cfg, simOptions(c))
 	if err != nil {
 		return nil, err
 	}
@@ -193,6 +214,9 @@ func NewMixMachine(ctx context.Context, mix string, cfg Config, opts ...Option) 
 	mo := sim.DefaultMultiOptions()
 	if c.sim != nil {
 		mo.Options = *c.sim
+	}
+	if c.tiers != nil {
+		mo.Options.Tiers = *c.tiers
 	}
 	mm, err := sim.NewMultiMachine(specs, cfg, mo)
 	if err != nil {
@@ -278,17 +302,13 @@ func NewMultiRuntime(ctx context.Context, m *MultiMachine, obj Objective, opts .
 // LLC accesses. The LLC is warmed before measurement (a cold cache
 // produces no writebacks and meaningless lifetimes); the trace is
 // deterministic, so evaluations of different configurations are directly
-// comparable. Options: WithSimOptions.
+// comparable. Options: WithSimOptions, WithTiers.
 func Evaluate(ctx context.Context, benchmark string, nAccesses int, cfg Config, opts ...Option) (Metrics, error) {
 	if err := ctx.Err(); err != nil {
 		return Metrics{}, err
 	}
 	c := applyOpts(opts)
-	simOpt := sim.DefaultOptions()
-	if c.sim != nil {
-		simOpt = *c.sim
-	}
-	p, err := sim.Prepare(benchmark, 0, nAccesses, simOpt)
+	p, err := sim.Prepare(benchmark, 0, nAccesses, simOptions(c))
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -300,14 +320,10 @@ func Evaluate(ctx context.Context, benchmark string, nAccesses int, cfg Config, 
 // sweep). Configurations are evaluated concurrently (WithWorkers bounds
 // the pool, default GOMAXPROCS); results are returned in input order and
 // are identical to a serial evaluation. Options: WithSimOptions,
-// WithWorkers, WithObserver (engine metric family).
+// WithTiers, WithWorkers, WithObserver (engine metric family).
 func EvaluateMany(ctx context.Context, benchmark string, nAccesses int, cfgs []Config, opts ...Option) ([]Metrics, error) {
 	c := applyOpts(opts)
-	simOpt := sim.DefaultOptions()
-	if c.sim != nil {
-		simOpt = *c.sim
-	}
-	p, err := sim.Prepare(benchmark, 0, nAccesses, simOpt)
+	p, err := sim.Prepare(benchmark, 0, nAccesses, simOptions(c))
 	if err != nil {
 		return nil, err
 	}
@@ -363,6 +379,9 @@ func RunExperiment(ctx context.Context, id string, opts ...Option) (*ExperimentR
 	opt := experiments.DefaultOptions()
 	if c.exp != nil {
 		opt = *c.exp
+	}
+	if c.tiers != nil {
+		opt.Sim.Tiers = *c.tiers
 	}
 	rp := experiments.DefaultRunParams()
 	if c.rp != nil {

@@ -27,6 +27,7 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // callOpts is the merged option state of one facade call.
 type callOpts struct {
 	sim     *SimOptions
+	tiers   *TierConfig
 	runtime *RuntimeOptions
 	exp     *ExperimentOptions
 	rp      *ExperimentRunParams
@@ -59,6 +60,17 @@ func applyOpts(opts []Option) callOpts {
 // DefaultSimOptions).
 func WithSimOptions(o SimOptions) Option {
 	return func(c *callOpts) { c.sim = &o }
+}
+
+// WithTiers sets the memory-hierarchy composition of the simulated
+// system: TierConfig{DRAMCache: true} inserts the DRAM cache tier between
+// the LLC and the NVM controller (see HybridTiers for the standard hybrid
+// setup). It layers over WithSimOptions — the tier composition is applied
+// to whatever simulator options the call resolved — so the same option
+// slice drives NewMachine, Evaluate and RunExperiment onto the identical
+// hierarchy.
+func WithTiers(t TierConfig) Option {
+	return func(c *callOpts) { c.tiers = &t }
 }
 
 // WithRuntimeOptions sets explicit MCT runtime options (default:
