@@ -35,8 +35,9 @@
 // deltas only at window boundaries, so the expected overhead is ~0%.
 //
 // -profile runs the selected benchmarks' sweeps under the CPU profiler and
-// snapshots the post-run heap, writing results/PROFILE_cpu.pprof and
-// results/PROFILE_heap.pprof for `go tool pprof`. This is the profiling
+// snapshots the post-run heap, mutex-contention, and blocking profiles,
+// writing results/PROFILE_{cpu,heap,mutex,block}.pprof for
+// `go tool pprof`. This is the profiling
 // hook behind the streaming-pipeline optimizations: layout and allocation
 // changes in the cache/nvm/trace hot paths are justified against these
 // profiles, not intuition.
@@ -84,7 +85,7 @@ func main() {
 		swBench  = flag.Bool("sweep-bench", false, "time cold-rebuild vs warm-clone sweeps and write results/BENCH_sweep.json")
 		obBench  = flag.Bool("obs-bench", false, "gate observability overhead and write results/BENCH_obs.json")
 		obMax    = flag.Float64("obs-overhead-max", 0.03, "maximum tolerated -obs-bench slowdown (fraction)")
-		profile  = flag.Bool("profile", false, "capture CPU+heap pprof profiles of the sweeps into results/")
+		profile  = flag.Bool("profile", false, "capture CPU, heap, mutex and block pprof profiles of the sweeps into results/")
 		memSmoke = flag.Int("mem-smoke", 0, "stream N accesses through one evaluation and gate total allocation (memory-boundedness smoke)")
 		memMax   = flag.Int64("mem-smoke-alloc-max", 256<<20, "maximum tolerated cumulative allocation in bytes for -mem-smoke")
 		metrics  = flag.String("metrics-out", "", "write a sorted JSON metrics dump of the experiment runs to this file")
@@ -311,10 +312,13 @@ func runSweepBench(ctx context.Context, opt experiments.Options) error {
 }
 
 // runProfile runs the selected benchmarks' warm sweeps under the CPU
-// profiler, then snapshots the heap, writing both profiles into results/.
-// Caches are disabled so the profile measures real simulation, and the
-// sweeps are the same workload -sweep-bench times — profile what you
-// optimize.
+// profiler, then snapshots the heap, mutex-contention, and blocking
+// profiles, writing all four into results/. Caches are disabled so the
+// profile measures real simulation, and the sweeps are the same workload
+// -sweep-bench times — profile what you optimize. The mutex and block
+// profiles are the contention side of the story: the parallel engine's
+// fan-out is supposed to synchronize only at batch boundaries, and these
+// profiles are where a lock that crept onto the hot path shows up.
 func runProfile(ctx context.Context, opt experiments.Options) error {
 	if err := os.Unsetenv("MCT_SWEEP_CACHE"); err != nil {
 		return err
@@ -322,9 +326,17 @@ func runProfile(ctx context.Context, opt experiments.Options) error {
 	experiments.ResetSweepCache()
 	cpuPath := filepath.Join("results", "PROFILE_cpu.pprof")
 	heapPath := filepath.Join("results", "PROFILE_heap.pprof")
+	mutexPath := filepath.Join("results", "PROFILE_mutex.pprof")
+	blockPath := filepath.Join("results", "PROFILE_block.pprof")
 	if err := os.MkdirAll("results", 0o755); err != nil {
 		return err
 	}
+	// Sample every mutex-contention event and every blocking event for the
+	// duration of the profiled sweeps; both collectors are off by default.
+	runtime.SetMutexProfileFraction(1)
+	defer runtime.SetMutexProfileFraction(0)
+	runtime.SetBlockProfileRate(1)
+	defer runtime.SetBlockProfileRate(0)
 	cf, err := os.Create(cpuPath)
 	if err != nil {
 		return err
@@ -359,10 +371,37 @@ func runProfile(ctx context.Context, opt experiments.Options) error {
 	if err := hf.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("profiled %d benchmark sweeps in %v\nwrote %s and %s\n",
-		len(opt.Benchmarks), time.Since(t0).Round(time.Millisecond), cpuPath, heapPath)
+	for _, p := range []struct{ name, path string }{
+		{"mutex", mutexPath},
+		{"block", blockPath},
+	} {
+		if err := writeLookupProfile(p.name, p.path); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("profiled %d benchmark sweeps in %v\nwrote %s, %s, %s and %s\n",
+		len(opt.Benchmarks), time.Since(t0).Round(time.Millisecond),
+		cpuPath, heapPath, mutexPath, blockPath)
 	fmt.Printf("inspect with: go tool pprof %s\n", cpuPath)
 	return nil
+}
+
+// writeLookupProfile dumps one of the runtime's named profiles (mutex,
+// block, ...) to path in pprof proto form.
+func writeLookupProfile(name, path string) error {
+	p := pprof.Lookup(name)
+	if p == nil {
+		return fmt.Errorf("no %s profile registered", name)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := p.WriteTo(f, 0); err != nil {
+		f.Close() //mctlint:ignore uncheckederr the profile write error is the one worth reporting
+		return err
+	}
+	return f.Close()
 }
 
 // runMemSmoke streams n accesses through a single evaluation and fails

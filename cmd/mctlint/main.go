@@ -20,13 +20,17 @@
 //	mctlint -baseline lint/baseline.json -prune-baseline ./...  # rewrite dropping stale
 //	mctlint -graph-json graph.json ./...        # export the static call graph
 //	mctlint -allochot-json allocs.json ./...    # export the hot-path allocation worklist
+//	mctlint -guards-json guards.json ./...      # export inferred shared-variable guard domains
 //
 // Rules are either package-scoped (one pass per package) or
 // program-scoped: the interprocedural rules (detflow, allochot, lockflow)
-// run over a whole-program view with a static call graph, so a run that
-// selects any of them loads the transitive module dependencies of the
-// requested packages too — findings are still reported only inside the
-// requested packages.
+// and the concurrency rules (racecand, atomicmix, chanmisuse) run over a
+// whole-program view with a static call graph, so a run that selects any
+// of them loads the transitive module dependencies of the requested
+// packages too — findings are still reported only inside the requested
+// packages. When lockbalance and lockflow both report the same lock leak
+// on the same line (a direct acquisition that is also a call-derived
+// hold), only the lockbalance finding survives.
 //
 // Severity: each rule is "error" or "warn" (see -rules). Error findings
 // fail the run with exit 1; warn findings (audit-class, e.g. allochot's
@@ -47,10 +51,12 @@
 // still match a finding.
 //
 // -graph-json writes the program's static call graph (nodes plus
-// call/dispatch/ref edges) and -allochot-json the ranked hot-path
-// allocation worklist, both in deterministic JSON for CI artifacts. Both
-// imply the whole-program load even when no interprocedural rule is
-// selected.
+// call/dispatch/ref edges), -allochot-json the ranked hot-path allocation
+// worklist, and -guards-json the inferred guard domain of every shared
+// variable (atomic / lock / confined / mixed / escaped / unguarded, with
+// the goroutine contexts its accesses run under) — all in deterministic
+// JSON for CI artifacts. Each implies the whole-program load even when no
+// program-scoped rule is selected.
 //
 // Suppress a finding with a trailing comment (or one on the line above):
 //
@@ -77,6 +83,7 @@ func main() {
 	pruneFlag := flag.Bool("prune-baseline", false, "rewrite the -baseline file keeping only entries that still match")
 	graphPath := flag.String("graph-json", "", "write the static call graph as JSON to this path")
 	allocPath := flag.String("allochot-json", "", "write the ranked hot-path allocation worklist as JSON to this path")
+	guardsPath := flag.String("guards-json", "", "write the inferred shared-variable guard domains as JSON to this path")
 	flag.Parse()
 
 	selected, err := selectRules(analysis.Analyzers(), *only, *skip)
@@ -143,7 +150,7 @@ func main() {
 			break
 		}
 	}
-	if interprocedural || *graphPath != "" || *allocPath != "" {
+	if interprocedural || *graphPath != "" || *allocPath != "" || *guardsPath != "" {
 		prog := analysis.NewProgram(loader, pkgs)
 		if interprocedural {
 			all = append(all, analysis.RunProgramAnalyzers(prog, selected)...)
@@ -162,9 +169,16 @@ func main() {
 				fatal(err)
 			}
 		}
+		if *guardsPath != "" {
+			if err := writeArtifact(*guardsPath, func() ([]byte, error) {
+				return renderAnyJSON(analysis.GuardReport(prog))
+			}); err != nil {
+				fatal(err)
+			}
+		}
 	}
 
-	findings := toJSONDiagnostics(moduleDir, all)
+	findings := dedupeOverlap(toJSONDiagnostics(moduleDir, all))
 	applySeverities(findings, severityByRule(analysis.Analyzers()))
 
 	if *baselinePath != "" {

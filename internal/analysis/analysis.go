@@ -93,8 +93,10 @@ func (a *Analyzer) Interprocedural() bool { return a.RunProgram != nil }
 // Analyzers returns the default registry: every simulator-aware rule
 // shipped with mctlint. The first eight are syntactic; the next four are
 // flow-sensitive, built on the CFG/dataflow layer of cfg.go and
-// dataflow.go; the last three are interprocedural, built on the call-graph
-// and summary layer of callgraph.go and summaries.go.
+// dataflow.go; the next three are interprocedural, built on the call-graph
+// and summary layer of callgraph.go and summaries.go; the last three are
+// concurrency-aware, built on the MHP and guarded-by layers of mhp.go and
+// guards.go.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoRandGlobal,
@@ -112,6 +114,9 @@ func Analyzers() []*Analyzer {
 		DetFlow,
 		AllocHot,
 		LockFlow,
+		RaceCand,
+		AtomicMix,
+		ChanMisuse,
 	}
 }
 

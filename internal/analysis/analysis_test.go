@@ -16,7 +16,7 @@ import (
 // wantRe matches trailing fixture markers of the form "// want rule [rule...]".
 var wantRe = regexp.MustCompile(`//\s*want\s+([a-z][a-z ]*)$`)
 
-func moduleRoot(t *testing.T) string {
+func moduleRoot(t testing.TB) string {
 	t.Helper()
 	wd, err := os.Getwd()
 	if err != nil {

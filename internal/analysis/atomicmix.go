@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/types"
+	"sort"
+)
+
+// AtomicMix flags variables and struct fields accessed both through
+// sync/atomic and plainly. Mixing the two disciplines voids the atomic
+// guarantee: a plain read can observe a torn or stale value next to
+// atomic.Add writers, and the race detector only notices when the
+// scheduler interleaves the pair. The rule fires only when a plain access
+// may actually happen in parallel with an atomic one — a plain
+// initialization that happens-before the goroutines spawn is fine.
+var AtomicMix = &Analyzer{
+	Name:       "atomicmix",
+	Doc:        "a variable or field accessed both via sync/atomic and plainly loses the atomic guarantee",
+	Severity:   "error",
+	RunProgram: runAtomicMix,
+}
+
+func runAtomicMix(prog *Program) {
+	idx := sharedIndexOf(prog)
+	conc := prog.Concurrency()
+	var objs []*types.Var
+	for obj := range idx.accesses {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		accs := idx.accesses[obj]
+		var atomics, plains []*Access
+		for _, a := range accs {
+			if a.Atomic {
+				atomics = append(atomics, a)
+			} else {
+				plains = append(plains, a)
+			}
+		}
+		if len(atomics) == 0 || len(plains) == 0 {
+			continue
+		}
+		reported := false
+		for _, p := range plains {
+			for _, at := range atomics {
+				if idx.varMHP(conc, obj, p, at) {
+					prog.Reportf(p.Pos, "atomicmix",
+						"%s is accessed via sync/atomic in %s but plainly here in %s; mixing the disciplines voids the atomic guarantee",
+						obj.Name(), shortFuncName(at.Fn.Name), shortFuncName(p.Fn.Name))
+					reported = true
+					break
+				}
+			}
+			if reported {
+				break
+			}
+		}
+	}
+}

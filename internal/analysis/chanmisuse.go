@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ChanMisuse flags three channel patterns that deadlock, panic, or burn a
+// core at runtime without ever failing a type check:
+//
+//   - a send on a channel that never escapes the program's visible uses
+//     and has no receive anywhere: the send blocks forever (or, buffered,
+//     silently drops the value into a channel nobody drains);
+//   - a channel closed at more than one site, or closed inside a loop:
+//     the second close panics;
+//   - a select with a default case inside a loop whose default body
+//     neither blocks, breaks, nor calls anything: a busy-spin that pins a
+//     worker while it polls.
+//
+// The checks are deliberately object-local: a channel that is passed to
+// another function, returned, or stored is considered escaped and exempt
+// (its protocol can't be judged from the uses in view).
+var ChanMisuse = &Analyzer{
+	Name:       "chanmisuse",
+	Doc:        "channel protocol hazards: send with no receiver, double-close candidates, busy-spin select",
+	Severity:   "warn",
+	RunProgram: runChanMisuse,
+}
+
+// chanUse aggregates the visible uses of one channel variable.
+type chanUse struct {
+	obj      *types.Var
+	sends    []token.Pos
+	recvs    int
+	closes   []token.Pos
+	closeIn  []bool // closes[i] is inside a loop
+	assigns  int    // fresh-channel bindings (declaration or = make(chan ...))
+	escaped  bool
+	firstUse token.Pos
+}
+
+func runChanMisuse(prog *Program) {
+	uses := map[*types.Var]*chanUse{}
+	rec := func(obj *types.Var, pos token.Pos) *chanUse {
+		u := uses[obj]
+		if u == nil {
+			u = &chanUse{obj: obj, firstUse: pos}
+			uses[obj] = u
+		}
+		return u
+	}
+	for _, fn := range prog.Funcs() {
+		collectChanUses(prog, fn, rec)
+		checkSelectSpin(prog, fn)
+	}
+
+	var objs []*types.Var
+	for obj := range uses {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		u := uses[obj]
+		if !u.escaped && len(u.sends) > 0 && u.recvs == 0 {
+			prog.Reportf(u.sends[0], "chanmisuse",
+				"send on %s but no receive anywhere in the program; the send blocks forever or the value is never drained", obj.Name())
+		}
+		// Double-close judgments need a single channel incarnation: a var
+		// rebound with a fresh make between closes is fine.
+		if u.assigns <= 1 {
+			if len(u.closes) >= 2 {
+				prog.Reportf(u.closes[1], "chanmisuse",
+					"%s is closed at multiple sites; the second close panics", obj.Name())
+			} else if len(u.closes) == 1 && u.closeIn[0] {
+				prog.Reportf(u.closes[0], "chanmisuse",
+					"%s is closed inside a loop; the second iteration panics", obj.Name())
+			}
+		}
+	}
+}
+
+// chanVarOf resolves an expression to the channel-typed variable it names
+// (a local, package var, or struct field), nil otherwise.
+func chanVarOf(info *types.Info, e ast.Expr) *types.Var {
+	id := rightmostVarIdent(info, e)
+	if id == nil {
+		return nil
+	}
+	v, ok := objOf(info, id).(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+		return nil
+	}
+	return v
+}
+
+// collectChanUses classifies every use of a channel variable in fn's body.
+// Uses not recognized as send/receive/close/range/len/cap/fresh-binding
+// mark the channel escaped.
+func collectChanUses(prog *Program, fn *FuncInfo, rec func(*types.Var, token.Pos) *chanUse) {
+	info := fn.Pkg.Info
+	body := fn.Body()
+
+	// Pass 1: mark the identifiers consumed by recognized channel
+	// operations.
+	handled := map[*ast.Ident]bool{}
+	markOp := func(e ast.Expr) *ast.Ident {
+		if chanVarOf(info, e) == nil {
+			return nil
+		}
+		id := rightmostVarIdent(info, e)
+		handled[id] = true
+		return id
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			if id := markOp(x.Chan); id != nil {
+				u := rec(chanVarOf(info, x.Chan), id.Pos())
+				u.sends = append(u.sends, x.Arrow)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if id := markOp(x.X); id != nil {
+					rec(chanVarOf(info, x.X), id.Pos()).recvs++
+				}
+			}
+		case *ast.RangeStmt:
+			if id := markOp(x.X); id != nil {
+				rec(chanVarOf(info, x.X), id.Pos()).recvs++
+			}
+		case *ast.CallExpr:
+			fnID, ok := ast.Unparen(x.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, isB := objOf(info, fnID).(*types.Builtin); isB {
+				switch b.Name() {
+				case "close":
+					if len(x.Args) == 1 {
+						if id := markOp(x.Args[0]); id != nil {
+							u := rec(chanVarOf(info, x.Args[0]), id.Pos())
+							u.closes = append(u.closes, x.Pos())
+							u.closeIn = append(u.closeIn, inLoopAt(fn, x.Pos()))
+						}
+					}
+				case "len", "cap":
+					if len(x.Args) == 1 {
+						markOp(x.Args[0])
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			// ch := make(chan T) / ch = make(chan T): a fresh binding, not
+			// an escape. Any other assignment touching the var (aliasing in
+			// or out) is an escape, handled by pass 2.
+			for i, lhs := range x.Lhs {
+				v := chanVarOf(info, lhs)
+				if v == nil {
+					continue
+				}
+				rhs := ast.Expr(nil)
+				if len(x.Rhs) == len(x.Lhs) {
+					rhs = x.Rhs[i]
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if fid, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+						if b, isB := objOf(info, fid).(*types.Builtin); isB && b.Name() == "make" {
+							id := rightmostVarIdent(info, lhs)
+							handled[id] = true
+							rec(v, id.Pos()).assigns++
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: any remaining use of a channel variable is an escape.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || handled[id] {
+			return true
+		}
+		if def, ok := info.Defs[id].(*types.Var); ok {
+			if _, isChan := def.Type().Underlying().(*types.Chan); isChan {
+				rec(def, id.Pos()).assigns++
+			}
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if _, isChan := v.Type().Underlying().(*types.Chan); !isChan {
+			return true
+		}
+		rec(v, id.Pos()).escaped = true
+		return true
+	})
+}
+
+// checkSelectSpin reports selects with a default clause inside a loop
+// whose default body does nothing that would yield: no call, no channel
+// operation, no return, and no break — a busy poll.
+func checkSelectSpin(prog *Program, fn *FuncInfo) {
+	var walk func(n ast.Node, loop bool)
+	walk = func(n ast.Node, loop bool) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			switch x := m.(type) {
+			case *ast.FuncLit:
+				return false // its own FuncInfo: visited separately
+			case *ast.ForStmt:
+				walk(x.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(x.Body, true)
+				return false
+			case *ast.SelectStmt:
+				if loop {
+					for _, c := range x.Body.List {
+						cc := c.(*ast.CommClause)
+						if cc.Comm == nil && !defaultYields(cc.Body) {
+							prog.Reportf(x.Pos(), "chanmisuse",
+								"select with default inside a loop busy-spins when no case is ready; block, sleep, or break in the default")
+						}
+					}
+				}
+				walk(x.Body, loop)
+				return false
+			}
+			return true
+		})
+	}
+	walk(fn.Body(), false)
+}
+
+// defaultYields reports whether the default clause's body contains
+// something that stops the spin: a call (it may block, sleep, or at least
+// do work), a channel operation, a return, or a break/goto out of the
+// loop.
+func defaultYields(body []ast.Stmt) bool {
+	yields := false
+	for _, s := range body {
+		ast.Inspect(s, func(n ast.Node) bool {
+			if yields {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr, *ast.SendStmt, *ast.ReturnStmt:
+				yields = true
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					yields = true
+				}
+			case *ast.BranchStmt:
+				if x.Tok == token.BREAK || x.Tok == token.GOTO {
+					yields = true
+				}
+			}
+			return true
+		})
+	}
+	return yields
+}

@@ -1,0 +1,843 @@
+// Guarded-by inference: which synchronization domain protects each shared
+// variable's accesses.
+//
+// The racecand/atomicmix analyzers need, for every access to a shared
+// variable, an answer to "what made this access safe?". This file computes
+// that answer in three steps:
+//
+//  1. Access collection. One walk over every function body records each
+//     read/write of a *types.Var — package-level variables, locals
+//     (including captures: the same object accessed from a nested
+//     literal), and struct fields — classifying writes (assignment
+//     left-hand sides, ++/--, range targets), sync/atomic accesses
+//     (&x handed to an atomic.* function, or a method call on an
+//     atomic.Int64-style typed field), and address escapes (&x anywhere
+//     else, which ends precise tracking).
+//
+//  2. Guard stamping. For functions with lock activity, a must-held
+//     forward dataflow (intersection at joins — a guard claimed on only
+//     one path is no guard) computes the set of locks held at every
+//     access. Direct Lock/Unlock calls move the set; calls into helpers
+//     apply the lockflow summaries (a uniquely-resolved callee's
+//     net-acquires enter the set, any possible callee's releases leave
+//     it), so a critical section entered through s.lockIt() still counts.
+//     Deferred unlocks do not end the critical section mid-body.
+//
+//  3. Key normalization. Held-lock keys are rewritten so the same mutex
+//     gets the same name across functions: package-level locks by import
+//     path ("mct/internal/experiments.sweepMu/w"), receiver- or
+//     parameter-rooted locks by the root's type
+//     ("mct/internal/obs.Registry.mu/w" — the standard guarded-by
+//     assumption that an instance's fields are guarded by that same
+//     instance's lock), captured locals by declaration site. The "/w" or
+//     "/r" suffix keeps RWMutex modes apart: a write access is only
+//     guarded by the exclusive mode.
+//
+// SharedVars exposes the package-level and captured variables (the
+// racecand domain); GuardReport renders every variable's inferred domain
+// — lock, atomic, confined, mixed, or unguarded — for the driver's
+// -guards-json debugging dump.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Access is one read or write of a tracked variable.
+type Access struct {
+	// Fn is the function body containing the access.
+	Fn *FuncInfo
+	// Pos is the identifier's source position.
+	Pos token.Pos
+	// Write reports a mutation: assignment target, ++/--, range target,
+	// write-through (index/field store rooted at the variable), address
+	// escape, or a mutating atomic op.
+	Write bool
+	// Atomic reports the access happens through sync/atomic.
+	Atomic bool
+
+	guards map[string]bool // normalized must-held locks at the access
+}
+
+// SharedVar is one variable whose accesses may span goroutine contexts: a
+// package-level variable or a function local captured by a nested
+// literal.
+type SharedVar struct {
+	// Obj is the variable's type-checker object.
+	Obj *types.Var
+	// DeclFn is the declaring function for captured locals, nil for
+	// package-level variables.
+	DeclFn *FuncInfo
+	// Escaped reports the address was taken outside sync/atomic: aliasing
+	// makes further tracking unsound, so racecand skips the variable.
+	Escaped bool
+	// Accesses in deterministic program order.
+	Accesses []*Access
+}
+
+// Name renders the variable for messages: import-path-qualified for
+// package-level variables (module prefix trimmed), declaring-function
+// qualified for captures.
+func (sv *SharedVar) Name(prog *Program) string {
+	if sv.DeclFn != nil {
+		return shortFuncName(sv.DeclFn.Name) + "." + sv.Obj.Name()
+	}
+	path := sv.Obj.Pkg().Path()
+	path = strings.TrimPrefix(path, prog.ModulePath+"/")
+	return path + "." + sv.Obj.Name()
+}
+
+// sharedIndex is the cached result of the access-collection pass.
+type sharedIndex struct {
+	// accesses indexes every tracked variable (package vars, locals,
+	// fields) — the atomicmix domain.
+	accesses map[*types.Var][]*Access
+	// declFn maps a local variable to its declaring function body.
+	declFn map[*types.Var]*FuncInfo
+	// escaped marks variables whose address was taken outside atomics.
+	escaped map[*types.Var]bool
+	// shared is the racecand domain: package vars plus captured locals,
+	// deterministically ordered.
+	shared []*SharedVar
+}
+
+// SharedVars returns the racecand domain: every package-level variable of
+// the program and every function local accessed from a body other than
+// its declaring function (a capture), with guard-stamped accesses.
+func SharedVars(prog *Program) []*SharedVar { return sharedIndexOf(prog).shared }
+
+func sharedIndexOf(prog *Program) *sharedIndex {
+	if prog.shared != nil {
+		return prog.shared
+	}
+	idx := &sharedIndex{
+		accesses: map[*types.Var][]*Access{},
+		declFn:   map[*types.Var]*FuncInfo{},
+		escaped:  map[*types.Var]bool{},
+	}
+	for _, fn := range prog.Funcs() {
+		idx.collect(prog, fn)
+	}
+	idx.stampGuards(prog)
+	idx.buildShared(prog)
+	prog.shared = idx
+	return idx
+}
+
+// buildShared selects the shared variables out of the access index.
+func (idx *sharedIndex) buildShared(prog *Program) {
+	var objs []*types.Var
+	for obj := range idx.accesses {
+		objs = append(objs, obj)
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i].Pos() < objs[j].Pos() })
+	for _, obj := range objs {
+		if obj.IsField() || isSynchronizerType(obj.Type()) {
+			continue // fields are out of scope; synchronizers are the guard, not the guarded
+		}
+		var declFn *FuncInfo
+		if !isPackageScope(obj) {
+			declFn = idx.declFn[obj]
+			if declFn == nil {
+				continue // parameter/result of a bodiless function, or unindexed
+			}
+			captured := false
+			for _, a := range idx.accesses[obj] {
+				if a.Fn != declFn {
+					captured = true
+					break
+				}
+			}
+			if !captured {
+				continue // a plain local: each frame owns its own copy
+			}
+		}
+		idx.shared = append(idx.shared, &SharedVar{
+			Obj:      obj,
+			DeclFn:   declFn,
+			Escaped:  idx.escaped[obj],
+			Accesses: idx.accesses[obj],
+		})
+	}
+}
+
+// isPackageScope reports whether v is a package-level variable.
+func isPackageScope(v *types.Var) bool {
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}
+
+// isSynchronizerType reports whether t is itself a synchronization
+// primitive (mutex, wait group, once, atomic value, channel): those are
+// accessed concurrently by design and judged by their own rules.
+func isSynchronizerType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if _, ok := t.Underlying().(*types.Chan); ok {
+		return true
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() {
+	case "sync", "sync/atomic":
+		return true
+	}
+	return false
+}
+
+// atomicCallTarget resolves a call to a sync/atomic package function
+// ("atomic.AddUint64") and reports whether it mutates.
+func atomicCallTarget(info *types.Info, call *ast.CallExpr) (mutates bool, ok bool) {
+	fn := calleeFuncObj(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false, false
+	}
+	return !strings.HasPrefix(fn.Name(), "Load"), true
+}
+
+// atomicMethodRecv resolves a method call on a sync/atomic typed value
+// ("c.hits.Add(1)") to the variable holding the value, reporting whether
+// the method mutates.
+func atomicMethodRecv(info *types.Info, call *ast.CallExpr) (*ast.Ident, bool, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return nil, false, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, false, false
+	}
+	id := rightmostVarIdent(info, sel.X)
+	if id == nil {
+		return nil, false, false
+	}
+	return id, fn.Name() != "Load", true
+}
+
+// rightmostVarIdent returns the identifier naming the accessed variable of
+// a selector chain: the final field for "c.hits", the identifier itself
+// for "hits".
+func rightmostVarIdent(info *types.Info, e ast.Expr) *ast.Ident {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if _, ok := objOf(info, x).(*types.Var); ok {
+			return x
+		}
+	case *ast.SelectorExpr:
+		if _, ok := objOf(info, x.Sel).(*types.Var); ok {
+			return x.Sel
+		}
+	}
+	return nil
+}
+
+// collect records every variable access in fn's body (nested literals are
+// their own FuncInfos and collected separately).
+func (idx *sharedIndex) collect(prog *Program, fn *FuncInfo) {
+	info := fn.Pkg.Info
+	body := fn.Body()
+
+	// Pass 1: classify identifiers that are written, atomically accessed,
+	// or escaping, so the generic pass can label them.
+	writes := map[*ast.Ident]bool{}
+	atomics := map[*ast.Ident]bool{}
+	atomicWrites := map[*ast.Ident]bool{}
+	escapes := map[*ast.Ident]bool{}
+	markTarget := func(e ast.Expr) {
+		// The mutated object: the leftmost identifier of the chain (the
+		// variable written or written through) and, for a field store, the
+		// field itself.
+		e = ast.Unparen(e)
+		if sel, ok := e.(*ast.SelectorExpr); ok {
+			if _, isVar := objOf(info, sel.Sel).(*types.Var); isVar {
+				writes[sel.Sel] = true
+			}
+		}
+		if id := leftmostIdent(e); id != nil {
+			writes[id] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				markTarget(lhs)
+			}
+		case *ast.IncDecStmt:
+			markTarget(x.X)
+		case *ast.RangeStmt:
+			if x.Key != nil {
+				markTarget(x.Key)
+			}
+			if x.Value != nil {
+				markTarget(x.Value)
+			}
+		case *ast.CallExpr:
+			if mutates, ok := atomicCallTarget(info, x); ok {
+				for _, arg := range x.Args {
+					if u, isAddr := ast.Unparen(arg).(*ast.UnaryExpr); isAddr && u.Op == token.AND {
+						if id := rightmostVarIdent(info, u.X); id != nil {
+							atomics[id] = true
+							if mutates {
+								atomicWrites[id] = true
+							}
+						}
+					}
+				}
+				return true
+			}
+			if id, mutates, ok := atomicMethodRecv(info, x); ok {
+				atomics[id] = true
+				if mutates {
+					atomicWrites[id] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if id := rightmostVarIdent(info, x.X); id != nil && !atomics[id] {
+					escapes[id] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2: record one Access per identifier use. Declarations (Defs)
+	// register the declaring function but are not accesses — an
+	// initializer runs before the variable can be shared.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if def, ok := info.Defs[id].(*types.Var); ok {
+			if _, tracked := idx.declFn[def]; !tracked && !isPackageScope(def) && !def.IsField() {
+				idx.declFn[def] = fn
+			}
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		if escapes[id] && !atomics[id] {
+			idx.escaped[obj] = true
+		}
+		idx.accesses[obj] = append(idx.accesses[obj], &Access{
+			Fn:     fn,
+			Pos:    id.Pos(),
+			Write:  writes[id] || atomicWrites[id] || escapes[id],
+			Atomic: atomics[id],
+		})
+		return true
+	})
+}
+
+// mhFact is the must-held lock set; nil is ⊤ (block not yet reached), the
+// identity of the intersection join.
+type mhFact map[string]bool
+
+func cloneMHFact(f mhFact) mhFact {
+	if f == nil {
+		return nil
+	}
+	c := make(mhFact, len(f))
+	for k := range f {
+		c[k] = true
+	}
+	return c
+}
+
+// stampGuards runs the must-held solve over every function with lock
+// activity and stamps each of its accesses with the normalized lock set
+// held at the access point.
+func (idx *sharedIndex) stampGuards(prog *Program) {
+	byFn := map[*FuncInfo][]*Access{}
+	for _, accs := range idx.accesses {
+		for _, a := range accs {
+			byFn[a.Fn] = append(byFn[a.Fn], a)
+		}
+	}
+	sums := lockSummariesOf(prog)
+	graph := prog.CallGraph()
+	for _, fn := range prog.Funcs() {
+		accs := byFn[fn]
+		if len(accs) == 0 || !fnHasLockActivity(fn, graph, sums) {
+			continue
+		}
+		sort.Slice(accs, func(i, j int) bool { return accs[i].Pos < accs[j].Pos })
+		stampFnGuards(prog, fn, accs, sums, graph)
+	}
+}
+
+// fnHasLockActivity is the cheap pre-scan mirroring lockflow's: direct
+// sync ops or calls to functions with lock effects.
+func fnHasLockActivity(fn *FuncInfo, graph *CallGraph, sums map[*FuncInfo]*lockSummary) bool {
+	info := fn.Pkg.Info
+	found := false
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if _, ok := syncLockOp(info, call); ok {
+			found = true
+			return false
+		}
+		for _, t := range graph.CalleesAt(fn, call) {
+			if !sums[t].empty() {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stampFnGuards solves must-held facts over fn's CFG and replays each
+// block to attribute the held set to every access position.
+func stampFnGuards(prog *Program, fn *FuncInfo, accs []*Access, sums map[*FuncInfo]*lockSummary, graph *CallGraph) {
+	g := fn.CFG()
+	transfer := func(b *Block, in mhFact) mhFact {
+		if in == nil {
+			return nil // unreachable so far
+		}
+		for _, n := range b.Nodes {
+			applyMustHeld(prog, fn, n, in, sums, graph, nil)
+		}
+		return in
+	}
+	facts := ForwardSolve(g, FlowSpec[mhFact]{
+		Entry:  mhFact{},
+		Bottom: func() mhFact { return nil },
+		Clone:  cloneMHFact,
+		Join: func(dst, src mhFact) mhFact {
+			if dst == nil {
+				return cloneMHFact(src)
+			}
+			if src == nil {
+				return dst
+			}
+			for k := range dst {
+				if !src[k] {
+					delete(dst, k)
+				}
+			}
+			return dst
+		},
+		Equal: func(a, b mhFact) bool {
+			if (a == nil) != (b == nil) {
+				return false
+			}
+			if len(a) != len(b) {
+				return false
+			}
+			for k := range a {
+				if !b[k] {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: transfer,
+	})
+
+	stamp := func(pos token.Pos, fact mhFact) {
+		if len(fact) == 0 {
+			return
+		}
+		// Binary search the sorted access slice for this position.
+		i := sort.Search(len(accs), func(i int) bool { return accs[i].Pos >= pos })
+		if i < len(accs) && accs[i].Pos == pos {
+			accs[i].guards = cloneMHFact(fact)
+		}
+	}
+	for _, b := range g.Blocks {
+		fact := cloneMHFact(facts.In[b])
+		if fact == nil {
+			continue
+		}
+		for _, n := range b.Nodes {
+			applyMustHeld(prog, fn, n, fact, sums, graph, stamp)
+		}
+	}
+}
+
+// applyMustHeld applies one block node's lock effects to fact in source
+// order, reporting every identifier position to onIdent (when non-nil)
+// with the fact current at that point. Calls take effect after their
+// operands are visited, so an argument read is attributed the pre-call
+// set. Deferred statements have no mid-body effect: a deferred unlock
+// releases at exit, leaving the critical section open through the rest of
+// the body.
+func applyMustHeld(prog *Program, fn *FuncInfo, n ast.Node, fact mhFact, sums map[*FuncInfo]*lockSummary, graph *CallGraph, onIdent func(token.Pos, mhFact)) {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		if onIdent != nil {
+			ast.Inspect(n, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false
+				}
+				if id, ok := m.(*ast.Ident); ok {
+					onIdent(id.Pos(), fact)
+				}
+				return true
+			})
+		}
+		return
+	}
+	info := fn.Pkg.Info
+	var visit func(m ast.Node)
+	visit = func(m ast.Node) {
+		if m == nil {
+			return
+		}
+		if _, ok := m.(*ast.FuncLit); ok {
+			return
+		}
+		if id, ok := m.(*ast.Ident); ok {
+			if onIdent != nil {
+				onIdent(id.Pos(), fact)
+			}
+			return
+		}
+		call, isCall := m.(*ast.CallExpr)
+		// Children first: operand reads happen before the call's effect.
+		ast.Inspect(m, func(ch ast.Node) bool {
+			if ch == m {
+				return true
+			}
+			visit(ch)
+			return false
+		})
+		if !isCall {
+			return
+		}
+		if op, ok := syncLockOp(info, call); ok {
+			sel := call.Fun.(*ast.SelectorExpr)
+			key, ok := normalizeLockExpr(prog, fn, sel.X, "/"+op.key[len(op.key)-1:])
+			if !ok {
+				return
+			}
+			if op.acquire {
+				fact[key] = true
+			} else {
+				delete(fact, key)
+			}
+			return
+		}
+		targets := graph.CalleesAt(fn, call)
+		unique := len(targets) == 1
+		for _, t := range targets {
+			su := sums[t]
+			if su.empty() {
+				continue
+			}
+			// A possible release must clear the must-held fact (claiming a
+			// guard a callee may have dropped is unsound); an acquire is
+			// trusted only when the callee is uniquely resolved.
+			for _, pk := range sortedLockKeys(su.releases) {
+				if key, ok := normalizeRewrittenKey(prog, fn, t, call, pk); ok {
+					delete(fact, key)
+				}
+			}
+			if !unique {
+				continue
+			}
+			for _, pk := range sortedLockKeys(su.acquires) {
+				if key, ok := normalizeRewrittenKey(prog, fn, t, call, pk); ok {
+					fact[key] = true
+				}
+			}
+		}
+	}
+	visit(n)
+}
+
+// normalizeRewrittenKey maps a callee's parameter-rooted lock to the
+// caller's normalized key space at one call site.
+func normalizeRewrittenKey(prog *Program, fn *FuncInfo, target *FuncInfo, call *ast.CallExpr, pk lockParamKey) (string, bool) {
+	args := callerArgs(fn.Pkg.Info, target, call)
+	if pk.param < 0 || pk.param >= len(args) || args[pk.param] == nil {
+		return "", false
+	}
+	arg := ast.Unparen(args[pk.param])
+	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		arg = ast.Unparen(u.X)
+	}
+	return normalizeLockExpr(prog, fn, arg, pk.suffix)
+}
+
+// normalizeLockExpr renders the lock rooted at expr with the given
+// field-path+mode suffix into the cross-function key space: package
+// variables by import path, parameter- and receiver-rooted locks by the
+// root's type (same-instance assumption), captured and plain locals by
+// declaration site.
+func normalizeLockExpr(prog *Program, fn *FuncInfo, expr ast.Expr, suffix string) (string, bool) {
+	info := fn.Pkg.Info
+	root := leftmostIdent(expr)
+	if root == nil {
+		return "", false
+	}
+	obj, ok := objOf(info, root).(*types.Var)
+	if !ok {
+		return "", false
+	}
+	path := strings.TrimPrefix(types.ExprString(ast.Unparen(expr)), root.Name)
+	if isPackageScope(obj) {
+		return obj.Pkg().Path() + "." + obj.Name() + path + suffix, true
+	}
+	for _, p := range detParams(fn) {
+		if p == obj {
+			return typeRootString(obj.Type()) + path + suffix, true
+		}
+	}
+	pos := prog.Fset.Position(obj.Pos())
+	return fmt.Sprintf("local:%s:%d.%s%s%s", shortBase(pos.Filename), pos.Line, obj.Name(), path, suffix), true
+}
+
+// typeRootString names a type for lock-key rooting, dereferencing
+// pointers.
+func typeRootString(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return types.TypeString(t, nil)
+}
+
+// shortBase trims a path to its base name.
+func shortBase(name string) string {
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name
+}
+
+// accessMHP judges may-happen-in-parallel for two accesses of sv: a
+// captured local exists once per invocation of its declaring function, so
+// it gets the frame-relative relation; a package variable gets the global
+// one.
+func (sv *SharedVar) accessMHP(conc *Concurrency, a, b *Access) bool {
+	if sv.DeclFn != nil {
+		return conc.FrameMHP(sv.DeclFn, a.Fn, a.Pos, b.Fn, b.Pos)
+	}
+	return conc.MHP(a.Fn, a.Pos, b.Fn, b.Pos)
+}
+
+// varMHP is accessMHP generalized to any tracked object (the atomicmix
+// domain includes fields and plain locals): locals are frame-relative,
+// package variables and fields global.
+func (idx *sharedIndex) varMHP(conc *Concurrency, obj *types.Var, a, b *Access) bool {
+	if !isPackageScope(obj) && !obj.IsField() {
+		if d := idx.declFn[obj]; d != nil {
+			return conc.FrameMHP(d, a.Fn, a.Pos, b.Fn, b.Pos)
+		}
+		return false // unindexed declarer: no sharing in view
+	}
+	return conc.MHP(a.Fn, a.Pos, b.Fn, b.Pos)
+}
+
+// guardedPair reports whether accesses a and b share a lock that actually
+// orders them: same lock base, and every write side holds the exclusive
+// ("/w") mode — a writer under RLock is not guarded against readers.
+func guardedPair(a, b *Access) bool {
+	for ga := range a.guards {
+		baseA, modeA := splitGuard(ga)
+		if a.Write && modeA != "w" {
+			continue
+		}
+		for gb := range b.guards {
+			baseB, modeB := splitGuard(gb)
+			if b.Write && modeB != "w" {
+				continue
+			}
+			if baseA == baseB {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// splitGuard separates a normalized key into lock base and mode.
+func splitGuard(key string) (base, mode string) {
+	if i := strings.LastIndexByte(key, '/'); i >= 0 {
+		return key[:i], key[i+1:]
+	}
+	return key, ""
+}
+
+// GuardInfo is one shared variable's inferred guard domain, rendered for
+// the -guards-json debugging dump.
+type GuardInfo struct {
+	// Var is the variable's printable name.
+	Var string `json:"var"`
+	// Kind is "package" or "captured".
+	Kind string `json:"kind"`
+	// Domain is the inferred classification: "atomic" (every access via
+	// sync/atomic), "lock" (a common lock across all accesses), "confined"
+	// (no two accesses may happen in parallel), "mixed" (atomic and plain
+	// accesses coexist — atomicmix territory), "escaped" (address taken,
+	// tracking ends), or "unguarded".
+	Domain string `json:"domain"`
+	// Guards lists the common lock bases of a "lock" classification.
+	Guards []string `json:"guards,omitempty"`
+	// Contexts renders the goroutine contexts the accesses run under.
+	Contexts []string `json:"contexts"`
+	// Accesses and Writes count the variable's uses.
+	Accesses int `json:"accesses"`
+	Writes   int `json:"writes"`
+}
+
+// GuardReport computes the guard domain of every shared variable, sorted
+// by name then declaration position. It exists for humans debugging a
+// racecand finding: the dump shows exactly which domain the inference put
+// each variable in and under which contexts its accesses run.
+func GuardReport(prog *Program) []GuardInfo {
+	conc := prog.Concurrency()
+	vars := SharedVars(prog)
+	out := make([]GuardInfo, 0, len(vars))
+	for _, sv := range vars {
+		gi := GuardInfo{
+			Var:      sv.Name(prog),
+			Kind:     "package",
+			Accesses: len(sv.Accesses),
+		}
+		if sv.DeclFn != nil {
+			gi.Kind = "captured"
+		}
+		allAtomic, anyAtomic, anyPlain := true, false, false
+		for _, a := range sv.Accesses {
+			if a.Write {
+				gi.Writes++
+			}
+			if a.Atomic {
+				anyAtomic = true
+			} else {
+				allAtomic = false
+				anyPlain = true
+			}
+		}
+		gi.Guards = commonGuards(sv.Accesses)
+		gi.Contexts = accessContexts(prog, conc, sv.Accesses)
+		switch {
+		case sv.Escaped:
+			gi.Domain = "escaped"
+		case allAtomic && anyAtomic:
+			gi.Domain = "atomic"
+		case len(gi.Guards) > 0:
+			gi.Domain = "lock"
+		case !anyMHPPair(conc, sv):
+			gi.Domain = "confined"
+		case anyAtomic && anyPlain:
+			gi.Domain = "mixed"
+		default:
+			gi.Domain = "unguarded"
+		}
+		out = append(out, gi)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Var < out[j].Var })
+	return out
+}
+
+// commonGuards returns the sorted lock bases held (in a write-compatible
+// mode) across every access, empty when none.
+func commonGuards(accs []*Access) []string {
+	var common map[string]bool
+	for _, a := range accs {
+		bases := map[string]bool{}
+		for g := range a.guards {
+			base, mode := splitGuard(g)
+			if a.Write && mode != "w" {
+				continue
+			}
+			bases[base] = true
+		}
+		if common == nil {
+			common = bases
+			continue
+		}
+		for b := range common {
+			if !bases[b] {
+				delete(common, b)
+			}
+		}
+	}
+	out := make([]string, 0, len(common))
+	for b := range common {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// anyMHPPair reports whether any two of sv's accesses may run in
+// parallel.
+func anyMHPPair(conc *Concurrency, sv *SharedVar) bool {
+	accs := sv.Accesses
+	for i := 0; i < len(accs); i++ {
+		for j := i; j < len(accs); j++ {
+			if sv.accessMHP(conc, accs[i], accs[j]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// accessContexts renders the deduplicated goroutine contexts of the
+// accesses ("root", "go engine.go:173 multi joined", ...).
+func accessContexts(prog *Program, conc *Concurrency, accs []*Access) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range accs {
+		for _, id := range conc.ContextsOf(a.Fn) {
+			var desc string
+			if id == 0 {
+				desc = "root"
+			} else {
+				s := conc.SiteByID(id)
+				desc = s.Kind.String() + " " + prog.Position(s.Pos)
+				if s.Multi {
+					desc += " multi"
+				}
+				if s.Joined {
+					desc += " joined"
+				}
+			}
+			if !seen[desc] {
+				seen[desc] = true
+				out = append(out, desc)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -101,6 +101,21 @@ type lfFact map[string]lfEnt
 
 func runLockFlow(prog *Program) {
 	lf := &lockFlowState{prog: prog, graph: prog.CallGraph()}
+	lf.sums = lockSummariesOf(prog)
+	for _, fn := range prog.Funcs() {
+		lf.analyze(fn, func(f *FuncInfo) *lockSummary { return lf.sums[f] }, true)
+	}
+}
+
+// lockSummariesOf computes (and caches) every function's lock-effect
+// summary. lockflow reports from them; the guard-domain inference of
+// guards.go reuses them to see critical sections entered through helper
+// lock methods.
+func lockSummariesOf(prog *Program) map[*FuncInfo]*lockSummary {
+	if prog.lockSums != nil {
+		return prog.lockSums
+	}
+	lf := &lockFlowState{prog: prog, graph: prog.CallGraph()}
 	solver := &SummarySolver[*lockSummary]{
 		Graph:  lf.graph,
 		Bottom: func() *lockSummary { return nil },
@@ -109,10 +124,8 @@ func runLockFlow(prog *Program) {
 			return lf.analyze(fn, get, false)
 		},
 	}
-	lf.sums = solver.Solve()
-	for _, fn := range prog.Funcs() {
-		lf.analyze(fn, func(f *FuncInfo) *lockSummary { return lf.sums[f] }, true)
-	}
+	prog.lockSums = solver.Solve()
+	return prog.lockSums
 }
 
 type lockFlowState struct {

@@ -1,0 +1,603 @@
+// Goroutine topology and the may-happen-in-parallel (MHP) relation.
+//
+// The engine worker pool made "which two statements can run at the same
+// time" a first-class correctness question: the determinism bar (byte
+// identical results at any worker count) is only as strong as the absence
+// of races, and `-race` observes just the interleavings one run happens to
+// schedule. This layer answers the question statically, on top of the
+// existing call graph.
+//
+// Construction:
+//
+//   - A SpawnSite is a place a new goroutine context is born: a `go`
+//     statement (targets resolved like any call), or a task closure handed
+//     to the engine package (engine.Map and friends run their function
+//     arguments on a pool of workers — including progress callbacks
+//     nested in an Options literal).
+//   - Every function body is assigned the set of contexts it may run
+//     under: the root context (id 0) for anything reachable from an
+//     ordinary call chain, plus one context per spawn site whose targets
+//     can reach it over call, dispatch or ref edges.
+//   - A site is Multi when more than one instance of its goroutine can be
+//     live at once: the `go` statement sits in a loop, the site is an
+//     engine fan-out, or the spawner itself runs in a Multi context
+//     (computed to a fixpoint).
+//   - A site is Joined when the spawner provably waits for the goroutine
+//     before continuing: engine fan-outs are synchronous by contract, and
+//     a `go` whose body calls Done on a sync.WaitGroup that the spawner
+//     Waits on downstream of the spawn counts as joined.
+//
+// MHP(a, b) then holds when some context of a's function and some context
+// of b's function can be live simultaneously: two distinct spawn contexts,
+// a Multi context against itself, or a spawn context against the root
+// unless the site is Joined. One refinement uses the spawner's CFG: an
+// instruction in the spawner that cannot be re-reached from the spawn
+// block happens before the spawn and is therefore ordered with it.
+//
+// Known-unsound corners (see DESIGN.md): goroutines launched through
+// plain function-typed values are invisible (no call-graph edge);
+// WaitGroup join detection is may-not-must (a Wait on one path counts);
+// channel synchronization does not order contexts. The relation
+// over-approximates in every other direction.
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SpawnKind classifies how a goroutine context comes into being.
+type SpawnKind int
+
+const (
+	// SpawnGo is a `go` statement.
+	SpawnGo SpawnKind = iota
+	// SpawnEngine is a function value handed to the engine worker pool.
+	SpawnEngine
+)
+
+// String names the kind for messages and the guards dump.
+func (k SpawnKind) String() string {
+	if k == SpawnEngine {
+		return "engine"
+	}
+	return "go"
+}
+
+// SpawnSite is one goroutine-creating location.
+type SpawnSite struct {
+	// ID is the context id, >= 1 (0 is the root context).
+	ID int
+	// Fn is the spawning function.
+	Fn *FuncInfo
+	// Pos is the `go` statement or engine call position.
+	Pos token.Pos
+	// Targets are the program functions the goroutine may start in.
+	Targets []*FuncInfo
+	// Kind distinguishes `go` statements from engine fan-outs.
+	Kind SpawnKind
+	// Multi reports that several instances of this goroutine can be live
+	// at once.
+	Multi bool
+	// Joined reports that the spawner waits for the goroutine before its
+	// own continuation runs.
+	Joined bool
+
+	reach map[*Block]bool // spawner blocks reachable from the spawn block
+}
+
+// Concurrency is the program's goroutine topology: spawn sites plus the
+// context assignment the MHP relation is computed from.
+type Concurrency struct {
+	Prog *Program
+	// Sites lists every spawn site in deterministic (spawner, position)
+	// order; Sites[i].ID == i+1.
+	Sites []*SpawnSite
+
+	ctxs    map[*FuncInfo][]int
+	litSite map[*FuncInfo]*SpawnSite
+}
+
+// Concurrency builds (and caches) the goroutine topology.
+func (prog *Program) Concurrency() *Concurrency {
+	if prog.conc != nil {
+		return prog.conc
+	}
+	c := &Concurrency{Prog: prog, ctxs: map[*FuncInfo][]int{}}
+	c.findSites()
+	c.assignContexts()
+	c.solveMulti()
+	prog.conc = c
+	return c
+}
+
+// ContextsOf returns the sorted context ids fn may run under (empty for a
+// function the topology never reaches — dead code keeps no contexts).
+func (c *Concurrency) ContextsOf(fn *FuncInfo) []int { return c.ctxs[fn] }
+
+// SiteByID returns the spawn site with the given context id, nil for the
+// root context.
+func (c *Concurrency) SiteByID(id int) *SpawnSite {
+	if id <= 0 || id > len(c.Sites) {
+		return nil
+	}
+	return c.Sites[id-1]
+}
+
+// findSites walks every function body for `go` statements and engine
+// fan-out calls. Nested literal bodies are skipped — they are their own
+// FuncInfo and are visited in program order.
+func (c *Concurrency) findSites() {
+	for _, fn := range c.Prog.Funcs() {
+		g := c.Prog.CallGraph()
+		info := fn.Pkg.Info
+		ast.Inspect(fn.Body(), func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			switch x := n.(type) {
+			case *ast.GoStmt:
+				c.addSite(&SpawnSite{
+					Fn:      fn,
+					Pos:     x.Pos(),
+					Targets: g.CalleesAt(fn, x.Call),
+					Kind:    SpawnGo,
+					Multi:   inLoopAt(fn, x.Pos()),
+					Joined:  goStmtJoined(c.Prog, fn, x),
+				})
+				// The spawned call's arguments (and a literal's body) are
+				// walked separately; skipping here avoids treating the
+				// argument expressions as part of the spawner's straight
+				// line, but argument sub-calls can still spawn — keep
+				// walking everything but the literal bodies.
+				return true
+			case *ast.CallExpr:
+				if targets := engineTaskTargets(c.Prog, info, x); len(targets) > 0 {
+					c.addSite(&SpawnSite{
+						Fn:      fn,
+						Pos:     x.Pos(),
+						Targets: targets,
+						Kind:    SpawnEngine,
+						Multi:   true,
+						Joined:  true,
+					})
+				}
+			}
+			return true
+		})
+	}
+}
+
+func (c *Concurrency) addSite(s *SpawnSite) {
+	s.ID = len(c.Sites) + 1
+	c.Sites = append(c.Sites, s)
+}
+
+// engineTaskTargets resolves the function-valued arguments of a call into
+// the engine package: each is a task the worker pool may run concurrently.
+func engineTaskTargets(prog *Program, info *types.Info, call *ast.CallExpr) []*FuncInfo {
+	callee := calleeFuncObj(info, call)
+	if callee == nil || callee.Pkg() == nil || !isEnginePkg(callee.Pkg().Path()) {
+		return nil
+	}
+	var targets []*FuncInfo
+	seen := map[*FuncInfo]bool{}
+	add := func(fi *FuncInfo) {
+		if fi != nil && !seen[fi] {
+			seen[fi] = true
+			targets = append(targets, fi)
+		}
+	}
+	for _, arg := range call.Args {
+		ast.Inspect(arg, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.FuncLit:
+				add(prog.LitOf(x))
+				return false
+			case *ast.Ident:
+				if tf, ok := info.Uses[x].(*types.Func); ok {
+					add(prog.FuncOf(tf))
+				}
+			}
+			return true
+		})
+	}
+	return targets
+}
+
+// calleeFuncObj resolves a call's operator to the declared function it
+// names, nil for dynamic calls.
+func calleeFuncObj(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		tf, _ := info.Uses[f].(*types.Func)
+		return tf
+	case *ast.SelectorExpr:
+		tf, _ := info.Uses[f.Sel].(*types.Func)
+		return tf
+	}
+	return nil
+}
+
+// goStmtJoined detects the WaitGroup join idiom: the spawned call
+// references Done (or the group itself) on a sync.WaitGroup object that
+// the spawner calls Wait on in a block reachable from the spawn. This is a
+// may-join (a Wait on one path counts), documented as an unsound corner.
+func goStmtJoined(prog *Program, fn *FuncInfo, g *ast.GoStmt) bool {
+	groups := map[types.Object]bool{}
+	info := fn.Pkg.Info
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := objOf(info, id)
+		if obj != nil && isWaitGroupType(obj.Type()) {
+			groups[obj] = true
+		}
+		return true
+	})
+	if len(groups) == 0 {
+		return false
+	}
+	spawnBlock := blockAt(fn, g.Pos())
+	if spawnBlock == nil {
+		return false
+	}
+	reach := fn.CFG().ReachableFrom(spawnBlock)
+	joined := false
+	ast.Inspect(fn.Body(), func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Wait" {
+			return true
+		}
+		root := leftmostIdent(sel.X)
+		if root == nil || !groups[objOf(info, root)] {
+			return true
+		}
+		if b := blockAt(fn, call.Pos()); b != nil && reach[b] {
+			joined = true
+		}
+		return true
+	})
+	return joined
+}
+
+// isWaitGroupType reports whether t (possibly behind a pointer) is
+// sync.WaitGroup.
+func isWaitGroupType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+// inLoopAt reports whether the statement at pos sits on a CFG cycle of fn.
+func inLoopAt(fn *FuncInfo, pos token.Pos) bool {
+	b := blockAt(fn, pos)
+	return b != nil && fn.CFG().InLoop(b)
+}
+
+// blockAt resolves pos to fn's CFG block.
+func blockAt(fn *FuncInfo, pos token.Pos) *Block {
+	return fn.CFG().BlockContaining(pos)
+}
+
+// assignContexts computes, for every function, the contexts it may run
+// under: a root BFS over every edge that is not a spawn edge, then one BFS
+// per site from its targets over all edges.
+func (c *Concurrency) assignContexts() {
+	g := c.Prog.CallGraph()
+
+	type pair struct{ caller, callee *FuncInfo }
+	spawnEdge := map[pair]bool{}
+	for _, s := range c.Sites {
+		for _, t := range s.Targets {
+			spawnEdge[pair{s.Fn, t}] = true
+		}
+	}
+
+	add := func(fn *FuncInfo, ctx int) bool {
+		for _, have := range c.ctxs[fn] {
+			if have == ctx {
+				return false
+			}
+		}
+		c.ctxs[fn] = append(c.ctxs[fn], ctx)
+		return true
+	}
+
+	// Root context: every declared function is a potential ordinary-call
+	// root (exported or not — tests and main packages call them), as is a
+	// package-scope initializer literal. Literals are reached only through
+	// non-spawn edges: a closure that exists solely as a spawn target runs
+	// in its spawn context alone.
+	var queue []*FuncInfo
+	for _, fn := range c.Prog.Funcs() {
+		if fn.Decl != nil || fn.Encl == nil {
+			if add(fn, 0) {
+				queue = append(queue, fn)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Out[fn] {
+			if spawnEdge[pair{e.Caller, e.Callee}] {
+				continue
+			}
+			if add(e.Callee, 0) {
+				queue = append(queue, e.Callee)
+			}
+		}
+	}
+
+	// Spawn contexts: everything reachable from a site's targets over any
+	// edge kind runs (also) under that site.
+	for _, s := range c.Sites {
+		queue = queue[:0]
+		for _, t := range s.Targets {
+			if t != nil && add(t, s.ID) {
+				queue = append(queue, t)
+			}
+		}
+		for len(queue) > 0 {
+			fn := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Out[fn] {
+				if add(e.Callee, s.ID) {
+					queue = append(queue, e.Callee)
+				}
+			}
+		}
+	}
+}
+
+// solveMulti propagates multiplicity: a spawn whose spawner itself runs in
+// a Multi context, or in two contexts that are parallel with each other,
+// can have several live instances even if the `go` statement is not in a
+// loop. Iterated to a fixpoint (Multi only ever flips false→true).
+func (c *Concurrency) solveMulti() {
+	for changed := true; changed; {
+		changed = false
+		for _, s := range c.Sites {
+			if s.Multi {
+				continue
+			}
+			ctxs := c.ctxs[s.Fn]
+			for _, id := range ctxs {
+				// Spawner recursive into its own spawn context, or running
+				// under another Multi site.
+				if id == s.ID || (id > 0 && c.Sites[id-1].Multi) {
+					s.Multi = true
+					changed = true
+					break
+				}
+			}
+			if s.Multi {
+				continue
+			}
+			// Two distinct contexts of the spawner that are mutually
+			// parallel also imply two live instances.
+			for i := 0; i < len(ctxs) && !s.Multi; i++ {
+				for j := i + 1; j < len(ctxs); j++ {
+					if c.parallelCtx(ctxs[i], ctxs[j]) {
+						s.Multi = true
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+}
+
+// parallelCtx reports whether contexts x and y can be live simultaneously.
+func (c *Concurrency) parallelCtx(x, y int) bool {
+	if x == 0 && y == 0 {
+		return false // one root context: ordinary sequential calls
+	}
+	if x == y {
+		return c.Sites[x-1].Multi
+	}
+	if x == 0 || y == 0 {
+		s := c.SiteByID(x + y) // the non-root one
+		return !s.Joined
+	}
+	sx, sy := c.SiteByID(x), c.SiteByID(y)
+	// Two joined fan-outs launched from the same body run sequentially —
+	// unless that body itself has several live instances.
+	if sx.Joined && sy.Joined && sx.Fn == sy.Fn && !c.selfParallel(sx.Fn) {
+		return false
+	}
+	return true
+}
+
+// selfParallel reports whether two instances of fn can be live at once
+// under any of its contexts.
+func (c *Concurrency) selfParallel(fn *FuncInfo) bool {
+	ctxs := c.ctxs[fn]
+	for _, id := range ctxs {
+		if id > 0 && c.Sites[id-1].Multi {
+			return true
+		}
+	}
+	for i := 0; i < len(ctxs); i++ {
+		for j := i + 1; j < len(ctxs); j++ {
+			x, y := ctxs[i], ctxs[j]
+			if x == 0 || y == 0 {
+				if s := c.SiteByID(x + y); !s.Joined {
+					return true
+				}
+				continue
+			}
+			sx, sy := c.SiteByID(x), c.SiteByID(y)
+			if sx.Joined && sy.Joined && sx.Fn == sy.Fn {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// MHP reports whether the instruction at (af, apos) may execute in
+// parallel with the instruction at (bf, bpos). Beyond the context-level
+// relation it applies one happens-before refinement: an instruction in the
+// spawner that the spawn block cannot re-reach is ordered before the
+// spawn, so it cannot overlap that site's goroutine.
+func (c *Concurrency) MHP(af *FuncInfo, apos token.Pos, bf *FuncInfo, bpos token.Pos) bool {
+	for _, ca := range c.ctxs[af] {
+		for _, cb := range c.ctxs[bf] {
+			if !c.parallelCtx(ca, cb) {
+				continue
+			}
+			if ca == 0 && cb > 0 && c.beforeSpawn(af, apos, c.SiteByID(cb)) {
+				continue
+			}
+			if cb == 0 && ca > 0 && c.beforeSpawn(bf, bpos, c.SiteByID(ca)) {
+				continue
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// frameCtx is an access's position in the spawn structure of one
+// invocation frame: the innermost spawned ancestor of its function within
+// the declaring function's closure family, plus the multiplicity and join
+// behavior of the whole ancestor chain.
+type frameCtx struct {
+	site   *SpawnSite // innermost spawned ancestor's site; nil = the frame's own goroutine
+	multi  bool       // some spawned ancestor can have several live instances
+	joined bool       // every spawned ancestor is joined before its spawner continues
+}
+
+// FrameMHP judges whether two accesses to a variable owned by one
+// invocation frame of declFn may run in parallel. The global MHP relation
+// is wrong for locals: a function called from two goroutines runs in two
+// contexts, but each invocation owns a fresh copy of its locals, so only
+// the spawn structure *inside* one frame — the `go` statements and engine
+// fan-outs in declFn and its nested literals — can make two accesses to a
+// captured local race. Accesses from outside the closure family (only
+// possible through an escaped address, tracked separately) report false.
+func (c *Concurrency) FrameMHP(declFn *FuncInfo, af *FuncInfo, apos token.Pos, bf *FuncInfo, bpos token.Pos) bool {
+	ca, oka := c.frameCtxOf(declFn, af)
+	cb, okb := c.frameCtxOf(declFn, bf)
+	if !oka || !okb {
+		return false
+	}
+	if !frameParallel(ca, cb) {
+		return false
+	}
+	if ca.site == nil && cb.site != nil && c.beforeSpawn(af, apos, cb.site) {
+		return false
+	}
+	if cb.site == nil && ca.site != nil && c.beforeSpawn(bf, bpos, ca.site) {
+		return false
+	}
+	return true
+}
+
+// frameCtxOf walks f's Encl chain up to declFn, collecting the spawn
+// sites that separate the access's goroutine from the frame's own. The
+// second result is false when f is not in declFn's closure family.
+func (c *Concurrency) frameCtxOf(declFn, f *FuncInfo) (frameCtx, bool) {
+	fc := frameCtx{joined: true}
+	for f != declFn {
+		if f == nil || f.Lit == nil {
+			return frameCtx{}, false
+		}
+		if s := c.siteSpawning(f); s != nil {
+			if fc.site == nil {
+				fc.site = s
+			}
+			fc.multi = fc.multi || s.Multi
+			fc.joined = fc.joined && s.Joined
+		}
+		f = f.Encl
+	}
+	return fc, true
+}
+
+// siteSpawning returns the spawn site that launches literal fn as a
+// goroutine, nil when fn only runs by ordinary call.
+func (c *Concurrency) siteSpawning(fn *FuncInfo) *SpawnSite {
+	if c.litSite == nil {
+		c.litSite = map[*FuncInfo]*SpawnSite{}
+		for _, s := range c.Sites {
+			for _, t := range s.Targets {
+				if t != nil && t.Lit != nil && c.litSite[t] == nil {
+					c.litSite[t] = s
+				}
+			}
+		}
+	}
+	return c.litSite[fn]
+}
+
+// frameParallel applies the context rules within one frame: the frame's
+// own goroutine is sequential with itself; a fully-joined spawn chain is
+// ordered with the frame; a context is parallel with itself only when
+// some ancestor is Multi; two sibling joined fan-outs from the same body
+// run sequentially.
+func frameParallel(ca, cb frameCtx) bool {
+	switch {
+	case ca.site == nil && cb.site == nil:
+		return false
+	case ca.site == nil:
+		return !cb.joined
+	case cb.site == nil:
+		return !ca.joined
+	case ca.site == cb.site:
+		return ca.multi || cb.multi
+	case ca.joined && cb.joined && ca.site.Fn == cb.site.Fn && !ca.multi && !cb.multi:
+		return false
+	}
+	return true
+}
+
+// beforeSpawn reports whether the instruction at pos in fn is ordered
+// before spawn site s: fn is the spawner and the spawn block cannot reach
+// the instruction's block (so no iteration re-executes it after the
+// spawn).
+func (c *Concurrency) beforeSpawn(fn *FuncInfo, pos token.Pos, s *SpawnSite) bool {
+	if s == nil || s.Fn != fn {
+		return false
+	}
+	sb := blockAt(fn, s.Pos)
+	if sb == nil {
+		return false
+	}
+	if s.reach == nil {
+		s.reach = fn.CFG().ReachableFrom(sb)
+	}
+	b := blockAt(fn, pos)
+	if b == nil {
+		return false
+	}
+	if b == sb {
+		// Same straight-line block: textual order decides, unless the block
+		// loops (then an earlier statement re-runs after the spawn).
+		return pos < s.Pos && !fn.CFG().InLoop(b)
+	}
+	return !s.reach[b]
+}

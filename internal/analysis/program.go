@@ -101,7 +101,10 @@ type Program struct {
 	seen        map[Diagnostic]bool
 	diags       []Diagnostic
 
-	graph *CallGraph
+	graph    *CallGraph
+	conc     *Concurrency
+	lockSums map[*FuncInfo]*lockSummary
+	shared   *sharedIndex
 }
 
 // NewProgram builds the program view over everything the loader has loaded

@@ -1,0 +1,74 @@
+package analysis
+
+// RaceCand flags statically-detectable data-race candidates: a shared
+// variable (package-level, or a local captured by a goroutine closure)
+// with a plain write in one goroutine context and a plain access in
+// another, where the two accesses may happen in parallel and share no
+// mode-correct lock.
+//
+// This is the static complement of `go test -race`: the race detector
+// only sees interleavings the scheduler exercises in one run, so a racy
+// write on a rarely-taken branch ships silently. racecand judges the
+// pairing from the MHP relation (mhp.go) and the guarded-by inference
+// (guards.go) instead, so the branch need never execute.
+//
+// Out of scope, by design (see DESIGN.md "Concurrency analysis"):
+// receiver fields (worker-local clones of simulator state would drown the
+// signal), variables whose address escapes (aliased access is invisible),
+// and pairs where one side is atomic (that discipline mix is atomicmix's
+// finding).
+var RaceCand = &Analyzer{
+	Name:       "racecand",
+	Doc:        "a shared variable written in one goroutine context and accessed without a common lock in a parallel context is a data-race candidate",
+	Severity:   "error",
+	RunProgram: runRaceCand,
+}
+
+func runRaceCand(prog *Program) {
+	conc := prog.Concurrency()
+	for _, sv := range SharedVars(prog) {
+		if sv.Escaped {
+			continue
+		}
+		w, other := findRacePair(conc, sv)
+		if w == nil {
+			continue
+		}
+		what := "read"
+		if other.Write {
+			what = "written"
+		}
+		prog.Reportf(w.Pos, "racecand",
+			"%s is written in %s and %s in %s without a common lock; the accesses may happen in parallel",
+			sv.Name(prog), shortFuncName(w.Fn.Name), what, shortFuncName(other.Fn.Name))
+	}
+}
+
+// findRacePair returns the first (in program order) plain write that may
+// happen in parallel with another plain access of the same variable
+// without a shared mode-correct guard, plus that other access.
+func findRacePair(conc *Concurrency, sv *SharedVar) (*Access, *Access) {
+	for _, w := range sv.Accesses {
+		if !w.Write || w.Atomic {
+			continue
+		}
+		for _, a := range sv.Accesses {
+			if a.Atomic || a == w {
+				continue
+			}
+			if !sv.accessMHP(conc, w, a) {
+				continue
+			}
+			if guardedPair(w, a) {
+				continue
+			}
+			return w, a
+		}
+		// A write may race with itself when its own context is
+		// self-parallel (go-in-loop, engine fan-out).
+		if sv.accessMHP(conc, w, w) && !guardedPair(w, w) {
+			return w, w
+		}
+	}
+	return nil, nil
+}

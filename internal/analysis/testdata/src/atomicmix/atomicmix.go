@@ -1,0 +1,93 @@
+// Fixture for the atomicmix rule: a variable or field with sync/atomic
+// accesses in one goroutine context and plain accesses in a parallel one
+// has lost the atomic guarantee. Plain initialization that happens-before
+// the goroutines spawn is fine, as is a consistently-atomic or
+// consistently-plain discipline.
+package atomicmix
+
+import "sync/atomic"
+
+// mixedRead: workers update n atomically, the spawner polls it plainly
+// while they run.
+type gauge struct{ n uint64 }
+
+var g gauge
+
+func mixedRead() uint64 {
+	for i := 0; i < 4; i++ {
+		go func() {
+			atomic.AddUint64(&g.n, 1)
+		}()
+	}
+	return g.n // want atomicmix
+}
+
+// mixedWrite: a plain reset races the atomic adders.
+type meter struct{ v uint64 }
+
+var m meter
+
+func atomicBump() {
+	go func() {
+		atomic.AddUint64(&m.v, 1)
+	}()
+}
+
+func plainReset() {
+	m.v = 0 // want atomicmix
+}
+
+// methodStyle: the typed-atomic API mixes just as badly with a plain
+// field read (reading the Int64's cell through an embedded plain alias).
+var spins int64
+
+func methodAdd() {
+	go func() {
+		atomic.AddInt64(&spins, 1)
+	}()
+	_ = spins // want atomicmix
+}
+
+// initThenSpawn is the happens-before negative: the plain write is
+// ordered before the goroutines exist.
+type tally struct{ c uint64 }
+
+func initThenSpawn() *tally {
+	t := &tally{}
+	t.c = 0
+	go func() {
+		atomic.AddUint64(&t.c, 1)
+	}()
+	return t
+}
+
+// allAtomic and allPlain are the single-discipline negatives.
+var clean uint64
+
+func allAtomic() uint64 {
+	go func() {
+		atomic.AddUint64(&clean, 1)
+	}()
+	return atomic.LoadUint64(&clean)
+}
+
+var plain int
+
+func allPlain() int {
+	plain = 1
+	return plain
+}
+
+// suppressed proves the ignore directive covers atomicmix findings.
+var quiet uint64
+
+func atomicQuiet() {
+	go func() {
+		atomic.AddUint64(&quiet, 1)
+	}()
+}
+
+func plainQuiet() uint64 {
+	//mctlint:ignore atomicmix fixture: suppression must cover concurrency rules
+	return quiet
+}

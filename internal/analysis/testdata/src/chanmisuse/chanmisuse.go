@@ -1,0 +1,104 @@
+// Fixture for the chanmisuse rule: channel protocol hazards — a send on
+// a channel nobody receives from, double-close candidates, and a
+// busy-spinning select-with-default in a loop. Escaped channels (passed,
+// returned, stored) are exempt from the send/receive accounting: their
+// protocol can't be judged from the uses in view.
+package chanmisuse
+
+import "time"
+
+// noReceiver: the channel never escapes and nothing receives — the send
+// blocks forever (or, buffered as here, is never drained).
+func noReceiver() {
+	ch := make(chan int, 1)
+	ch <- 1 // want chanmisuse
+}
+
+// doubleClose: the second close panics.
+func doubleClose() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	close(ch)
+	close(ch) // want chanmisuse
+}
+
+// closeInLoop: the second iteration panics.
+func closeInLoop(n int) {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	for i := 0; i < n; i++ {
+		close(ch) // want chanmisuse
+	}
+}
+
+// spin: the default arm does nothing, so the loop burns a core polling.
+func spin(ch chan int) bool {
+	for {
+		select { // want chanmisuse
+		case <-ch:
+			return true
+		default:
+		}
+	}
+}
+
+// sendRecv is the paired-protocol negative: a receive exists.
+func sendRecv() int {
+	ch := make(chan int, 4)
+	go func() {
+		ch <- 1
+	}()
+	return <-ch
+}
+
+// handoff escapes the channel into another function: the send is exempt
+// because the receive may live behind the call.
+func handoff() {
+	ch := make(chan int, 1)
+	ch <- 1
+	sink(ch)
+}
+
+func sink(<-chan int) {}
+
+// rebound closes two distinct incarnations of the variable: fine.
+func rebound() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// backoff yields in the default arm: a legitimate poll loop.
+func backoff(ch chan int) bool {
+	for {
+		select {
+		case <-ch:
+			return true
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+// oneShot: select-with-default outside a loop is a plain non-blocking
+// poll.
+func oneShot(ch chan int) bool {
+	select {
+	case <-ch:
+		return true
+	default:
+	}
+	return false
+}
+
+// suppressed proves the ignore directive covers chanmisuse findings.
+func suppressed() {
+	ch := make(chan int, 1)
+	//mctlint:ignore chanmisuse fixture: suppression must cover concurrency rules
+	ch <- 1
+}

@@ -1,0 +1,140 @@
+// Fixture for the racecand rule: a shared variable (package-level or
+// captured) with a plain write in one goroutine context and a plain
+// access in a parallel context, with no common mode-correct lock, is a
+// data-race candidate. The negatives pin the suppression machinery:
+// happens-before via write-before-spawn, WaitGroup joins, lock guards
+// (direct and through helpers), atomic-only traffic, and escaped
+// addresses are all out of scope.
+package racecand
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// hits is written by an unjoined goroutine while the spawner reads it.
+var hits int
+
+func spawnUnguarded() int {
+	go func() {
+		hits++ // want racecand
+	}()
+	return hits
+}
+
+// loopCapture writes a captured local from a go-in-loop site: the
+// goroutine instances race with each other and with the spawner's read.
+func loopCapture() int {
+	n := 0
+	for i := 0; i < 4; i++ {
+		go func() {
+			n++ // want racecand
+		}()
+	}
+	return n
+}
+
+// rlockWrite holds the wrong mode: an RLock on the writer side does not
+// exclude the other readers.
+var rwMu sync.RWMutex
+var table int
+
+func rlockWrite() {
+	go func() {
+		rwMu.RLock()
+		table++ // want racecand
+		rwMu.RUnlock()
+	}()
+	rwMu.RLock()
+	_ = table
+	rwMu.RUnlock()
+}
+
+// guarded is the lock-discipline negative: every access of count holds
+// the same captured mutex, and the spawner's final read happens after the
+// WaitGroup join.
+func guarded() int {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	count := 0
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			count++
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// lockViaHelper proves guard inference sees critical sections entered
+// through a helper: lockIt's summary marks s.mu held.
+type store struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (s *store) lockIt()   { s.mu.Lock() }
+func (s *store) unlockIt() { s.mu.Unlock() }
+
+var shared = &store{}
+var total int
+
+func lockViaHelper() {
+	go func() {
+		shared.lockIt()
+		total++
+		shared.unlockIt()
+	}()
+	shared.lockIt()
+	_ = total
+	shared.unlockIt()
+}
+
+// initThenSpawn writes before the spawn: ordered by happens-before, and
+// the goroutine only reads.
+func initThenSpawn() {
+	cfg := 0
+	cfg = 42
+	go func() {
+		_ = cfg
+	}()
+}
+
+// atomicOnly keeps all traffic through sync/atomic: not racecand's
+// finding (a mixed case would be atomicmix's).
+var ticks uint64
+
+func atomicOnly() uint64 {
+	go func() {
+		atomic.AddUint64(&ticks, 1)
+	}()
+	return atomic.LoadUint64(&ticks)
+}
+
+// escaped's address leaves the visible accesses: aliased writes are
+// invisible, so the variable is exempt rather than mis-judged.
+var leaked int
+
+func escapes() {
+	through(&leaked)
+	go func() {
+		leaked++
+	}()
+}
+
+func through(p *int) { *p = 1 }
+
+// suppressed proves the ignore directive covers racecand findings.
+var quieted int
+
+func suppressed() int {
+	go func() {
+		//mctlint:ignore racecand fixture: suppression must cover concurrency rules
+		quieted++
+	}()
+	return quieted
+}
