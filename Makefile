@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-intra lint-inter lint-conc lint-json lint-update test race bench-smoke sweep-bench obs-bench mem-smoke profile metrics-check verify
+.PHONY: all build vet lint lint-intra lint-inter lint-conc lint-json lint-update test race bench-smoke sweep-bench obs-bench mem-smoke profile metrics-check serve-smoke verify
 
 all: verify
 
@@ -18,12 +18,12 @@ lint: lint-intra lint-inter lint-conc
 # entries are fatal: the baseline may only shrink (prune with
 # `make lint-update`), never silently rot.
 lint-intra:
-	$(GO) run ./cmd/mctlint -skip detflow,allochot,lockflow,racecand,atomicmix,chanmisuse -baseline lint/baseline.json -stale-fatal ./...
+	$(GO) run ./cmd/mctlint -skip detflow,allochot,lockflow,racecand,atomicmix,chanmisuse,nodeprecated -baseline lint/baseline.json -stale-fatal ./...
 
 # Interprocedural rules (call graph + summaries) plus the CI artifacts:
 # the static call graph and the ranked hot-path allocation worklist.
 lint-inter:
-	$(GO) run ./cmd/mctlint -only detflow,allochot,lockflow -baseline lint/baseline.json -stale-fatal \
+	$(GO) run ./cmd/mctlint -only detflow,allochot,lockflow,nodeprecated -baseline lint/baseline.json -stale-fatal \
 		-graph-json results/callgraph.json -allochot-json results/allochot.json ./...
 
 # Concurrency rules (MHP + guarded-by inference) plus the inferred
@@ -94,4 +94,10 @@ metrics-check:
 	$(GO) run ./cmd/mct -benchmark lbm -insts 6000000 -dram -workers 4 -metrics-out results/metrics-dram-w4.json >/dev/null
 	cmp results/metrics-dram-w1.json results/metrics-dram-w4.json
 
-verify: build vet lint test race bench-smoke mem-smoke
+# End-to-end daemon smoke: boot mctd, prove CLI/daemon artifact parity over
+# HTTP, then kill -9 mid-job and prove the restarted daemon resumes from the
+# checkpoint with a byte-identical artifact.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+verify: build vet lint test race bench-smoke mem-smoke serve-smoke

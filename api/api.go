@@ -1,0 +1,76 @@
+// Package api is the versioned wire surface of the MCT system: the JSON
+// document types (DTOs) spoken by every transport — the mct CLI's -job mode,
+// the mctd job-server daemon, and future multi-node sharding. It exists so
+// the serialized artifacts are a contract rather than an accident of
+// internal struct layout:
+//
+//   - Field names are stable snake_case JSON identities, decoupled from the
+//     internal Go structs they mirror (internal refactors cannot silently
+//     change the wire format).
+//   - Every top-level document carries a "v" schema version. Decoders reject
+//     payloads from a different schema version loudly instead of dropping
+//     fields on the floor.
+//   - Decoding is strict: unknown fields are an error, so typos and
+//     version-skewed producers fail at the boundary, not deep inside a run.
+//   - Encoding is byte-stable: struct field order and encoding/json's
+//     shortest-round-trip float formatting make Encode(Decode(Encode(x)))
+//     byte-identical, which is what lets CI `cmp` a daemon artifact against
+//     the CLI's output for the same job.
+//
+// The package depends only on the standard library and the internal model
+// packages it translates (config, sim, experiments); it never imports the
+// server or the facade.
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// Version is the wire-schema version this package encodes and decodes.
+// Bump it only with a new decoder: v1 decoders must fail loudly on v2
+// payloads, never reinterpret them.
+const Version = 1
+
+// Encode renders a DTO as indented JSON with a trailing newline. Field
+// order follows struct declaration order and map-free documents round-trip
+// byte-identically, so encoded artifacts are stable `cmp` targets.
+func Encode(v any) []byte {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		// Unreachable for the package's own DTOs: they are structs of
+		// finite scalars, strings and slices.
+		panic(fmt.Sprintf("api: encode: %v", err))
+	}
+	return append(b, '\n')
+}
+
+// versionProbe reads just the schema version of a document.
+type versionProbe struct {
+	V int `json:"v"`
+}
+
+// decodeStrict decodes data into v after checking the document's schema
+// version: a payload carrying any version other than Version fails loudly
+// (the version check runs first, so a future-versioned payload reports the
+// skew rather than an unknown-field error). Unknown fields and trailing
+// data are errors.
+func decodeStrict(data []byte, v any, kind string) error {
+	var probe versionProbe
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return fmt.Errorf("api: %s: %w", kind, err)
+	}
+	if probe.V != Version {
+		return fmt.Errorf("api: %s payload has schema version %d; this decoder reads version %d", kind, probe.V, Version)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("api: %s: %w", kind, err)
+	}
+	if dec.More() {
+		return fmt.Errorf("api: %s: trailing data after document", kind)
+	}
+	return nil
+}

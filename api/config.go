@@ -1,0 +1,81 @@
+package api
+
+import (
+	"fmt"
+
+	"mct/internal/config"
+)
+
+// Config is the wire form of one Mellow-Writes configuration point
+// (mct.Config). Field names follow the paper's Table 2/3 vocabulary and
+// match config.VectorNames.
+type Config struct {
+	V int `json:"v"`
+
+	BankAware          bool `json:"bank_aware"`
+	BankAwareThreshold int  `json:"bank_aware_threshold"`
+
+	EagerWritebacks bool `json:"eager_writebacks"`
+	EagerThreshold  int  `json:"eager_threshold"`
+
+	WearQuota       bool    `json:"wear_quota"`
+	WearQuotaTarget float64 `json:"wear_quota_target"`
+
+	FastLatency float64 `json:"fast_latency"`
+	SlowLatency float64 `json:"slow_latency"`
+
+	FastCancellation bool `json:"fast_cancellation"`
+	SlowCancellation bool `json:"slow_cancellation"`
+}
+
+// FromConfig converts a configuration (mct.Config / config.Config) to its
+// wire form.
+func FromConfig(c config.Config) Config {
+	return Config{
+		V:                  Version,
+		BankAware:          c.BankAware,
+		BankAwareThreshold: c.BankAwareThreshold,
+		EagerWritebacks:    c.EagerWritebacks,
+		EagerThreshold:     c.EagerThreshold,
+		WearQuota:          c.WearQuota,
+		WearQuotaTarget:    c.WearQuotaTarget,
+		FastLatency:        c.FastLatency,
+		SlowLatency:        c.SlowLatency,
+		FastCancellation:   c.FastCancellation,
+		SlowCancellation:   c.SlowCancellation,
+	}
+}
+
+// Config converts the wire form back to the simulator's configuration type
+// and validates it against the configuration space's structural
+// constraints.
+func (c Config) Config() (config.Config, error) {
+	if c.V != Version {
+		return config.Config{}, fmt.Errorf("api: config has schema version %d; this decoder reads version %d", c.V, Version)
+	}
+	out := config.Config{
+		BankAware:          c.BankAware,
+		BankAwareThreshold: c.BankAwareThreshold,
+		EagerWritebacks:    c.EagerWritebacks,
+		EagerThreshold:     c.EagerThreshold,
+		WearQuota:          c.WearQuota,
+		WearQuotaTarget:    c.WearQuotaTarget,
+		FastLatency:        c.FastLatency,
+		SlowLatency:        c.SlowLatency,
+		FastCancellation:   c.FastCancellation,
+		SlowCancellation:   c.SlowCancellation,
+	}
+	if err := out.Validate(); err != nil {
+		return config.Config{}, err
+	}
+	return out, nil
+}
+
+// DecodeConfig strictly decodes a Config document.
+func DecodeConfig(data []byte) (Config, error) {
+	var c Config
+	if err := decodeStrict(data, &c, "config"); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

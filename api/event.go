@@ -1,0 +1,47 @@
+package api
+
+import "mct/internal/obs"
+
+// Event is the wire form of one progress/trace observation (obs.Event), as
+// carried in the data field of the daemon's SSE stream. obs.Event has no
+// JSON identity of its own — this type is what pins the field names.
+type Event struct {
+	V      int                `json:"v"`
+	Scope  string             `json:"scope,omitempty"`
+	Item   string             `json:"item,omitempty"`
+	Kind   string             `json:"kind,omitempty"`
+	Done   int                `json:"done,omitempty"`
+	Total  int                `json:"total,omitempty"`
+	Text   string             `json:"text,omitempty"`
+	Values map[string]float64 `json:"values,omitempty"`
+}
+
+// FromEvent converts an observation to its wire form. encoding/json sorts
+// map keys, so Values encodes deterministically.
+func FromEvent(e obs.Event) Event {
+	out := Event{
+		V:     Version,
+		Scope: e.Scope,
+		Item:  e.Item,
+		Kind:  e.Kind,
+		Done:  e.Done,
+		Total: e.Total,
+		Text:  e.Text,
+	}
+	if len(e.Values) > 0 {
+		out.Values = make(map[string]float64, len(e.Values))
+		for k, v := range e.Values {
+			out.Values[k] = v
+		}
+	}
+	return out
+}
+
+// DecodeEvent strictly decodes an Event document (one SSE data payload).
+func DecodeEvent(data []byte) (Event, error) {
+	var e Event
+	if err := decodeStrict(data, &e, "event"); err != nil {
+		return Event{}, err
+	}
+	return e, nil
+}

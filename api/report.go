@@ -1,0 +1,68 @@
+package api
+
+import (
+	"fmt"
+
+	"mct/internal/experiments"
+)
+
+// Table is the wire form of one printable experiment table.
+type Table struct {
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+}
+
+// ExperimentReport is the wire form of one regenerated table/figure
+// artifact (mct.ExperimentReport).
+type ExperimentReport struct {
+	V      int      `json:"v"`
+	ID     string   `json:"id"`
+	Tables []Table  `json:"tables"`
+	Notes  []string `json:"notes,omitempty"`
+}
+
+// FromReport converts an experiment report (mct.ExperimentReport /
+// experiments.Report) to its wire form.
+func FromReport(r *experiments.Report) ExperimentReport {
+	out := ExperimentReport{V: Version, ID: r.ID}
+	for _, t := range r.Tables {
+		wt := Table{Title: t.Title, Header: append([]string(nil), t.Header...)}
+		for _, row := range t.Rows {
+			wt.Rows = append(wt.Rows, append([]string(nil), row...))
+		}
+		out.Tables = append(out.Tables, wt)
+	}
+	if len(r.Notes) > 0 {
+		out.Notes = append([]string(nil), r.Notes...)
+	}
+	return out
+}
+
+// Report converts the wire form back to the experiment report type.
+func (r ExperimentReport) Report() (*experiments.Report, error) {
+	if r.V != Version {
+		return nil, fmt.Errorf("api: report has schema version %d; this decoder reads version %d", r.V, Version)
+	}
+	out := &experiments.Report{ID: r.ID}
+	for _, t := range r.Tables {
+		wt := experiments.Table{Title: t.Title, Header: append([]string(nil), t.Header...)}
+		for _, row := range t.Rows {
+			wt.Rows = append(wt.Rows, append([]string(nil), row...))
+		}
+		out.Tables = append(out.Tables, wt)
+	}
+	if len(r.Notes) > 0 {
+		out.Notes = append([]string(nil), r.Notes...)
+	}
+	return out, nil
+}
+
+// DecodeReport strictly decodes an ExperimentReport document.
+func DecodeReport(data []byte) (ExperimentReport, error) {
+	var r ExperimentReport
+	if err := decodeStrict(data, &r, "experiment report"); err != nil {
+		return ExperimentReport{}, err
+	}
+	return r, nil
+}

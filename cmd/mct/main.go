@@ -28,9 +28,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"mct"
+	"mct/api"
 	"mct/internal/engine"
+	"mct/internal/server"
 )
 
 // refRun is one finished reference simulation.
@@ -54,6 +57,8 @@ func main() {
 		metrics  = flag.String("metrics-out", "", "write a sorted JSON metrics dump (cache/nvm/core/engine families) to this file after the run")
 		dram     = flag.Bool("dram", false, "insert the DRAM cache tier between LLC and NVM (hybrid hierarchy)")
 		dramTh   = flag.Int("dram-promote", 0, "DRAM hot-page promotion threshold (0 = tier default; requires -dram)")
+		jobSpec  = flag.String("job", "", "execute a job spec JSON (api.JobSpec) synchronously and write its artifact")
+		jobOut   = flag.String("job-out", "", "artifact output path for -job (default stdout)")
 	)
 	flag.Parse()
 
@@ -63,8 +68,15 @@ func main() {
 		return
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM too: daemon-style supervisors send it, and a graceful stop is
+	// what keeps checkpoints and sweep caches consistent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *jobSpec != "" {
+		runJob(ctx, *jobSpec, *jobOut, *workers)
+		return
+	}
 
 	obj := mct.DefaultObjective(*lifetime)
 	ro := mct.DefaultRuntimeOptions()
@@ -236,6 +248,32 @@ func startReferenceRuns(ctx context.Context, bench string, insts uint64, workers
 		ch <- refResult{runs: runs, err: err}
 	}()
 	return ch
+}
+
+// runJob is the CLI twin of one daemon job: the same api.JobSpec document
+// through the same executor, minus queueing and persistence. For one spec
+// the artifact bytes match the daemon's — byte-identical at any -workers —
+// which is what CI's serve-smoke cmp relies on.
+func runJob(ctx context.Context, specPath, outPath string, workers int) {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		fail(err)
+	}
+	spec, err := api.DecodeJobSpec(data)
+	if err != nil {
+		fail(err)
+	}
+	artifact, err := server.Execute(ctx, spec, server.ExecOptions{Workers: workers})
+	if err != nil {
+		fail(err)
+	}
+	if outPath == "" {
+		os.Stdout.Write(artifact)
+		return
+	}
+	if err := os.WriteFile(outPath, artifact, 0o644); err != nil {
+		fail(err)
+	}
 }
 
 func fail(err error) {

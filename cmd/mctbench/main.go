@@ -62,6 +62,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"mct"
@@ -101,7 +102,9 @@ func main() {
 		return
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM too: daemon-style supervisors send it, and a graceful stop is
+	// what keeps the sweep disk cache consistent.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opt := mct.DefaultExperimentOptions()

@@ -94,9 +94,9 @@ func (a *Analyzer) Interprocedural() bool { return a.RunProgram != nil }
 // shipped with mctlint. The first eight are syntactic; the next four are
 // flow-sensitive, built on the CFG/dataflow layer of cfg.go and
 // dataflow.go; the next three are interprocedural, built on the call-graph
-// and summary layer of callgraph.go and summaries.go; the last three are
+// and summary layer of callgraph.go and summaries.go; the next three are
 // concurrency-aware, built on the MHP and guarded-by layers of mhp.go and
-// guards.go.
+// guards.go; the last is the program-scoped deprecation gate.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		NoRandGlobal,
@@ -117,6 +117,7 @@ func Analyzers() []*Analyzer {
 		RaceCand,
 		AtomicMix,
 		ChanMisuse,
+		NoDeprecated,
 	}
 }
 

@@ -1,0 +1,157 @@
+// nodeprecated: no new callers of deprecated identifiers.
+//
+// The facade retired its paired-variant functions behind the versioned api
+// package (PR 10); this rule is what keeps them retired. Any declaration —
+// function, method, type, constant or variable — whose doc comment carries
+// a "Deprecated:" line marks its identifier, and every use of a marked
+// identifier outside deprecated code is a finding. The rule is
+// program-scoped because deprecation lives in the doc comments of *other*
+// packages' declarations, which only the whole-program view carries; a
+// single-package pass sees types.Objects but not the doc text behind them.
+//
+// Uses lexically inside a declaration that is itself deprecated are exempt:
+// a deprecated shim may keep calling the older thing it wraps until both
+// are deleted together.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoDeprecated reports uses of identifiers whose declarations carry a
+// "Deprecated:" doc line.
+var NoDeprecated = &Analyzer{
+	Name:       "nodeprecated",
+	Doc:        "use of a deprecated identifier (declaration doc says Deprecated:)",
+	RunProgram: runNoDeprecated,
+}
+
+// deprecationNote returns the text after "Deprecated:" on the first doc
+// line carrying the marker (the Go convention puts it at a paragraph
+// start).
+func deprecationNote(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(line, "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}
+
+// specDeprecation resolves one GenDecl spec's deprecation: the spec's own
+// doc wins, else the block doc covers every spec in the block.
+func specDeprecation(spec ast.Spec, blockNote string, blockOK bool) (string, bool) {
+	var doc *ast.CommentGroup
+	switch sp := spec.(type) {
+	case *ast.TypeSpec:
+		doc = sp.Doc
+	case *ast.ValueSpec:
+		doc = sp.Doc
+	}
+	if note, ok := deprecationNote(doc); ok {
+		return note, true
+	}
+	return blockNote, blockOK
+}
+
+func runNoDeprecated(prog *Program) {
+	// Pass 1: collect every deprecated object across the whole view —
+	// module-internal dependencies included, so a facade deprecation is
+	// visible to its external callers.
+	deprecated := map[types.Object]string{}
+	for _, p := range prog.Packages {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				switch x := d.(type) {
+				case *ast.FuncDecl:
+					if note, ok := deprecationNote(x.Doc); ok {
+						if obj := p.Info.Defs[x.Name]; obj != nil {
+							deprecated[obj] = note
+						}
+					}
+				case *ast.GenDecl:
+					blockNote, blockOK := deprecationNote(x.Doc)
+					for _, spec := range x.Specs {
+						note, ok := specDeprecation(spec, blockNote, blockOK)
+						if !ok {
+							continue
+						}
+						switch sp := spec.(type) {
+						case *ast.TypeSpec:
+							if obj := p.Info.Defs[sp.Name]; obj != nil {
+								deprecated[obj] = note
+							}
+						case *ast.ValueSpec:
+							for _, name := range sp.Names {
+								if obj := p.Info.Defs[name]; obj != nil {
+									deprecated[obj] = note
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if len(deprecated) == 0 {
+		return
+	}
+
+	// Pass 2: flag uses in the analyzed packages, skipping declarations
+	// that are themselves deprecated.
+	for _, p := range prog.Analyze {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				switch x := d.(type) {
+				case *ast.FuncDecl:
+					if _, ok := deprecationNote(x.Doc); ok {
+						continue
+					}
+					reportDeprecatedUses(prog, p, x, deprecated)
+				case *ast.GenDecl:
+					blockNote, blockOK := deprecationNote(x.Doc)
+					for _, spec := range x.Specs {
+						if _, ok := specDeprecation(spec, blockNote, blockOK); ok {
+							continue
+						}
+						reportDeprecatedUses(prog, p, spec, deprecated)
+					}
+				}
+			}
+		}
+	}
+}
+
+// reportDeprecatedUses flags every identifier under n that resolves to a
+// deprecated object.
+func reportDeprecatedUses(prog *Program, p *Package, n ast.Node, deprecated map[types.Object]string) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := p.Info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		note, ok := deprecated[obj]
+		if !ok {
+			return true
+		}
+		name := obj.Name()
+		if obj.Pkg() != nil && obj.Pkg() != p.Types {
+			name = obj.Pkg().Name() + "." + name
+		}
+		if note != "" {
+			prog.Reportf(id.Pos(), "nodeprecated", "use of deprecated %s (Deprecated: %s)", name, note)
+		} else {
+			prog.Reportf(id.Pos(), "nodeprecated", "use of deprecated %s", name)
+		}
+		return true
+	})
+}

@@ -1,0 +1,53 @@
+// Fixture for the nodeprecated rule: uses of identifiers whose
+// declarations carry a "Deprecated:" doc line — functions, constants and
+// type aliases — are findings; uses inside deprecated declarations and
+// suppressed uses are not.
+package nodeprecated
+
+// oldSum adds the pre-options way.
+//
+// Deprecated: use sum.
+func oldSum(a, b int) int { return a + b }
+
+// sum is the replacement entry point.
+func sum(a, b int) int { return a + b }
+
+// OldLimit is the former queue cap.
+//
+// Deprecated: use Limit.
+const OldLimit = 8
+
+// Limit is the queue cap.
+const Limit = 8
+
+// oldTable is the legacy alias.
+//
+// Deprecated: use table.
+type oldTable = map[string]int
+
+// table maps names to counts.
+type table = map[string]int
+
+// use trips the rule on every deprecated reference.
+func use() int {
+	t := oldTable{"a": 1}           // want nodeprecated
+	return oldSum(t["a"], OldLimit) // want nodeprecated nodeprecated
+}
+
+// okNew uses only the replacements: no findings.
+func okNew() int {
+	t := table{"a": 1}
+	return sum(t["a"], Limit)
+}
+
+// oldWrap is itself deprecated, so its call into oldSum is exempt: a
+// deprecated shim may keep wrapping the older thing until both go.
+//
+// Deprecated: use sum.
+func oldWrap(a, b int) int { return oldSum(a, b) }
+
+// suppressed keeps one violation alive under an ignore directive.
+func suppressed() int {
+	//mctlint:ignore nodeprecated migration scheduled with the next facade sweep
+	return oldSum(1, 2)
+}

@@ -1,0 +1,140 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"mct/api"
+)
+
+// store is the daemon's durable state: one directory per job under
+// <dir>/jobs/<id>/ holding
+//
+//	spec.json      the submitted JobSpec (wire form, immutable)
+//	status.json    the last persisted JobStatus
+//	artifact.json  the artifact document, written once on completion
+//	machine.ckpt   Execute's machine checkpoint (while running)
+//	partial.json   Execute's completed sweep prefix (while running)
+//
+// Every write is atomic (temp file + rename in the same directory), so a
+// kill -9 can lose at most the work since the last chunk — never corrupt
+// what a restarted server reads back.
+type store struct {
+	dir string
+}
+
+func openStore(dir string) (*store, error) {
+	if err := os.MkdirAll(filepath.Join(dir, "jobs"), 0o755); err != nil {
+		return nil, err
+	}
+	return &store{dir: dir}, nil
+}
+
+func (st *store) jobDir(id string) string { return filepath.Join(st.dir, "jobs", id) }
+
+func (st *store) createJob(id string, spec api.JobSpec) error {
+	if err := os.MkdirAll(st.jobDir(id), 0o755); err != nil {
+		return err
+	}
+	return writeFileAtomic(filepath.Join(st.jobDir(id), "spec.json"), api.Encode(spec))
+}
+
+func (st *store) writeStatus(status api.JobStatus) error {
+	return writeFileAtomic(filepath.Join(st.jobDir(status.ID), "status.json"), api.Encode(status))
+}
+
+func (st *store) writeArtifact(id string, artifact []byte) error {
+	return writeFileAtomic(filepath.Join(st.jobDir(id), "artifact.json"), artifact)
+}
+
+func (st *store) readArtifact(id string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(st.jobDir(id), "artifact.json"))
+}
+
+// jobRecord is one job read back at startup.
+type jobRecord struct {
+	spec   api.JobSpec
+	status api.JobStatus
+}
+
+// load reads every job directory back, in ID order (IDs are zero-padded
+// sequence numbers, so lexicographic order is submission order). A job
+// directory whose spec or status does not parse is an error: durable state
+// must never be silently dropped.
+func (st *store) load() ([]jobRecord, error) {
+	entries, err := os.ReadDir(filepath.Join(st.dir, "jobs"))
+	if err != nil {
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	var out []jobRecord
+	for _, id := range ids {
+		specData, err := os.ReadFile(filepath.Join(st.jobDir(id), "spec.json"))
+		if err != nil {
+			return nil, fmt.Errorf("server: job %s: %w", id, err)
+		}
+		spec, err := api.DecodeJobSpec(specData)
+		if err != nil {
+			return nil, fmt.Errorf("server: job %s: %w", id, err)
+		}
+		statusData, err := os.ReadFile(filepath.Join(st.jobDir(id), "status.json"))
+		if err != nil {
+			return nil, fmt.Errorf("server: job %s: %w", id, err)
+		}
+		status, err := api.DecodeJobStatus(statusData)
+		if err != nil {
+			return nil, fmt.Errorf("server: job %s: %w", id, err)
+		}
+		out = append(out, jobRecord{spec: spec, status: status})
+	}
+	return out, nil
+}
+
+// nextID returns the first unused zero-padded job ID after the loaded
+// records.
+func nextID(records []jobRecord) int {
+	max := 0
+	for _, r := range records {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimPrefix(r.status.ID, "j"), "%d", &n); err == nil && n > max {
+			max = n
+		}
+	}
+	return max + 1
+}
+
+func jobID(n int) string { return fmt.Sprintf("j%06d", n) }
+
+// writeFileAtomic writes data to path via a temp file and rename, so
+// readers — including a restarted server — never observe a torn file.
+func writeFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()     //mctlint:ignore uncheckederr the write error is the one worth reporting
+		os.Remove(name) //mctlint:ignore uncheckederr the write error is the one worth reporting
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name) //mctlint:ignore uncheckederr the close error is the one worth reporting
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name) //mctlint:ignore uncheckederr the rename error is the one worth reporting
+		return err
+	}
+	return nil
+}

@@ -88,6 +88,37 @@ func Prepare(benchmark string, warmup, measure int, opt Options) (*Prepared, err
 	}, nil
 }
 
+// Checkpoint writes the prepared workload's warm machine to path as a
+// standard machine checkpoint (see SaveCheckpoint). A later process can
+// rebuild the Prepared with LoadCheckpoint + PreparedFromMachine and skip
+// the warmup replay entirely.
+func (p *Prepared) Checkpoint(path string) error {
+	return SaveCheckpoint(path, p.warm)
+}
+
+// PreparedFromMachine wraps an already-warmed machine — typically one
+// restored from a checkpoint written by Prepared.Checkpoint — as a Prepared
+// measuring measure accesses per evaluation. The machine's generator must
+// sit exactly at the measurement cut (where Prepare leaves it); warmup ≤ 0
+// records DefaultWarmupAccesses, which only matters to EvaluateCold's
+// replay. The machine is adopted: the caller must not touch it afterwards.
+func PreparedFromMachine(m *Machine, warmup, measure int) (*Prepared, error) {
+	if measure <= 0 {
+		return nil, fmt.Errorf("sim: non-positive measurement length %d", measure)
+	}
+	if warmup <= 0 {
+		warmup = DefaultWarmupAccesses
+	}
+	return &Prepared{
+		Spec:     m.gen.Spec(),
+		opt:      m.opt,
+		warmup:   warmup,
+		nMeasure: measure,
+		warm:     m,
+		genState: m.gen.Snapshot(),
+	}, nil
+}
+
 // Trace materializes the measurement access stream. Each call regenerates a
 // fresh slice from the measurement-cut generator state, so callers own the
 // result outright: mutating it cannot perturb evaluations (which stream

@@ -434,12 +434,33 @@ func (m *Machine) RunSource(src trace.Source) Metrics {
 // starts.
 func (m *Machine) RunInstructions(n uint64) Metrics {
 	m.beginWindow()
+	m.StepInstructions(n)
+	return m.windowMetrics()
+}
+
+// StepInstructions executes trace accesses until at least n more
+// instructions have committed, without touching window accounting. Because
+// the stop condition is a target instruction count and stepping is
+// per-access, splitting a run into chunks produces the identical access
+// stream as one straight run: StepInstructions(a) then StepInstructions(b)
+// steps exactly the accesses of StepInstructions(a+b). Combined with
+// checkpoints — window-start markers ride MachineState — this is what lets
+// a resumed run finish byte-identical to an uninterrupted one.
+func (m *Machine) StepInstructions(n uint64) {
 	target := m.insts + n
 	for m.insts < target {
 		m.step(m.gen.Next())
 	}
-	return m.windowMetrics()
 }
+
+// WindowMetrics returns the metrics of the current measurement window (since
+// the last beginWindow — e.g. the one opened by Warmup) without ending it.
+func (m *Machine) WindowMetrics() Metrics { return m.windowMetrics() }
+
+// WindowInstructions returns the instructions committed in the current
+// measurement window. A resumed run uses it to compute how many
+// instructions of its target remain.
+func (m *Machine) WindowInstructions() uint64 { return m.insts - m.winStartInsts }
 
 // windowMetrics computes metrics for the current window (since the last
 // beginWindow) without ending it.

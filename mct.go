@@ -191,13 +191,6 @@ func NewMachine(ctx context.Context, benchmark string, cfg Config, opts ...Optio
 	return m, nil
 }
 
-// NewMachineOpts builds a machine with explicit simulator options.
-//
-// Deprecated: use NewMachine with WithSimOptions.
-func NewMachineOpts(benchmark string, cfg Config, opt SimOptions) (*Machine, error) {
-	return NewMachine(context.Background(), benchmark, cfg, WithSimOptions(opt))
-}
-
 // NewMixMachine builds the 4-core system running a Table 11 mix. Options:
 // WithSimOptions overrides the per-core simulator options inside the
 // default multi-core setup; WithObserver attaches a registry (shared LLC
@@ -278,13 +271,6 @@ func NewRuntime(ctx context.Context, m *Machine, obj Objective, opts ...Option) 
 	return core.New(m, obj, runtimeOptions(c))
 }
 
-// NewRuntimeOpts attaches a runtime with explicit options.
-//
-// Deprecated: use NewRuntime with WithRuntimeOptions.
-func NewRuntimeOpts(m *Machine, obj Objective, opt RuntimeOptions) (*Runtime, error) {
-	return NewRuntime(context.Background(), m, obj, WithRuntimeOptions(opt))
-}
-
 // NewMultiRuntime attaches an MCT runtime to a multi-core machine. It
 // accepts the same options as NewRuntime.
 func NewMultiRuntime(ctx context.Context, m *MultiMachine, obj Objective, opts ...Option) (*Runtime, error) {
@@ -333,13 +319,6 @@ func EvaluateMany(ctx context.Context, benchmark string, nAccesses int, cfgs []C
 		})
 }
 
-// EvaluateManyContext evaluates several configurations with cancellation.
-//
-// Deprecated: EvaluateMany is context-first now; call it directly.
-func EvaluateManyContext(ctx context.Context, benchmark string, nAccesses int, cfgs []Config) ([]Metrics, error) {
-	return EvaluateMany(ctx, benchmark, nAccesses, cfgs)
-}
-
 // Experiment types.
 type (
 	// ExperimentOptions scales the experiment drivers.
@@ -348,15 +327,6 @@ type (
 	ExperimentReport = experiments.Report
 	// ExperimentRunParams tunes per-experiment knobs.
 	ExperimentRunParams = experiments.RunParams
-	// ExperimentEvent is one structured progress notification.
-	//
-	// Deprecated: use TraceEvent (the same type; the observer surface is
-	// unified on internal/obs).
-	ExperimentEvent = engine.Event
-	// ExperimentSink consumes progress events.
-	//
-	// Deprecated: use TraceSink (the same type).
-	ExperimentSink = engine.Sink
 )
 
 // TextProgress returns a sink that renders trace events as plain text
@@ -404,32 +374,6 @@ func RunExperiment(ctx context.Context, id string, opts ...Option) (*ExperimentR
 		rep.Fprint(c.out)
 	}
 	return rep, nil
-}
-
-// RunExperimentContext regenerates one table/figure and writes the text
-// report to w.
-//
-// Deprecated: use RunExperiment with WithExperimentOptions, WithRunParams
-// and WithOutput.
-func RunExperimentContext(ctx context.Context, id string, w io.Writer, opt ExperimentOptions, rp ExperimentRunParams) error {
-	_, err := RunExperiment(ctx, id, WithExperimentOptions(opt), WithRunParams(rp), WithOutput(w))
-	return err
-}
-
-// RunExperimentReport regenerates one table/figure and returns the
-// structured report.
-//
-// Deprecated: use RunExperiment.
-func RunExperimentReport(id string, opt ExperimentOptions, rp ExperimentRunParams) (*ExperimentReport, error) {
-	return RunExperiment(context.Background(), id, WithExperimentOptions(opt), WithRunParams(rp))
-}
-
-// RunExperimentReportContext regenerates one table/figure with
-// cancellation.
-//
-// Deprecated: use RunExperiment.
-func RunExperimentReportContext(ctx context.Context, id string, opt ExperimentOptions, rp ExperimentRunParams) (*ExperimentReport, error) {
-	return RunExperiment(ctx, id, WithExperimentOptions(opt), WithRunParams(rp))
 }
 
 // DefaultExperimentOptions returns full-fidelity experiment settings.

@@ -135,59 +135,6 @@ func TestRuntimeTraceSink(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersEquivalent: the deprecated paired variants are thin
-// shims over the context-first entry points and must produce identical
-// results.
-func TestDeprecatedWrappersEquivalent(t *testing.T) {
-	ctx := context.Background()
-
-	// NewMachineOpts == NewMachine + WithSimOptions.
-	so := mct.DefaultSimOptions()
-	a, err := mct.NewMachineOpts("lbm", mct.StaticBaseline(), so)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := mct.NewMachine(ctx, "lbm", mct.StaticBaseline(), mct.WithSimOptions(so))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if ma, mb := a.RunInstructions(500_000), b.RunInstructions(500_000); !reflect.DeepEqual(ma, mb) {
-		t.Errorf("NewMachineOpts diverged from NewMachine: %+v vs %+v", ma, mb)
-	}
-
-	// RunExperimentContext == RunExperiment + WithOutput; the rendered
-	// reports must be byte-identical.
-	opt := mct.QuickExperimentOptions()
-	rp := mct.DefaultExperimentRunParams()
-	var bufOld, bufNew bytes.Buffer
-	if err := mct.RunExperimentContext(ctx, "space", &bufOld, opt, rp); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := mct.RunExperiment(ctx, "space",
-		mct.WithExperimentOptions(opt), mct.WithRunParams(rp), mct.WithOutput(&bufNew)); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(bufOld.Bytes(), bufNew.Bytes()) {
-		t.Errorf("deprecated RunExperimentContext rendered a different report")
-	}
-
-	// EvaluateManyContext == EvaluateMany.
-	cfgs := []mct.Config{mct.DefaultConfig(), mct.StaticBaseline()}
-	mOld, err := mct.EvaluateManyContext(ctx, "gups", 20_000, cfgs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	mNew, err := mct.EvaluateMany(ctx, "gups", 20_000, cfgs)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i := range mOld {
-		if !reflect.DeepEqual(mOld[i], mNew[i]) {
-			t.Errorf("EvaluateManyContext diverged at %d", i)
-		}
-	}
-}
-
 // TestFacadeContextCancellation: a cancelled context short-circuits every
 // context-first entry point.
 func TestFacadeContextCancellation(t *testing.T) {
